@@ -1,0 +1,114 @@
+"""The protocol interface the DSM runtime drives.
+
+Both Cashmere and TreadMarks implement this interface.  Every method that
+consumes simulated time is a generator (it yields simulation events); the
+runtime composes them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.cluster.machine import Processor
+from repro.cluster.messaging import Request
+from repro.stats import Category
+
+
+class DsmProtocol(abc.ABC):
+    """Coherence, synchronization, and data access for one DSM system."""
+
+    #: whether poll instrumentation costs apply to this run
+    counts_polling = True
+
+    #: installed by the program runner; a disabled tracer is free
+    tracer = None
+
+    def trace(self, proc, kind: str, **details) -> None:
+        """Record a protocol event when tracing is enabled."""
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(proc.engine.now, proc.pid, kind, **details)
+
+    # -- page access ------------------------------------------------------
+
+    @abc.abstractmethod
+    def ensure_read(self, proc: Processor, page: int) -> Generator:
+        """Make ``page`` readable at ``proc`` (take a read fault if not)."""
+
+    @abc.abstractmethod
+    def ensure_write(self, proc: Processor, page: int) -> Generator:
+        """Make ``page`` writable at ``proc`` (take a write fault if not)."""
+
+    @abc.abstractmethod
+    def page_data(self, proc: Processor, page: int) -> np.ndarray:
+        """``proc``'s current mapping of ``page`` as a uint8 array.
+
+        Only valid after :meth:`ensure_read` / :meth:`ensure_write`.
+        """
+
+    @abc.abstractmethod
+    def apply_write(
+        self, proc: Processor, page: int, start: int, raw: np.ndarray
+    ) -> Generator:
+        """Apply a write of ``raw`` bytes at ``start`` within ``page``.
+
+        Cashmere doubles the write through to the home copy and charges
+        the doubling sequence; TreadMarks writes the local copy only.
+        """
+
+    # -- synchronization ------------------------------------------------------
+
+    @abc.abstractmethod
+    def lock_acquire(self, proc: Processor, lock_id: int) -> Generator:
+        """Acquire an application lock, with acquire-side consistency."""
+
+    @abc.abstractmethod
+    def lock_release(self, proc: Processor, lock_id: int) -> Generator:
+        """Release an application lock, with release-side consistency."""
+
+    @abc.abstractmethod
+    def barrier(self, proc: Processor, barrier_id: int) -> Generator:
+        """Global barrier with release+acquire consistency semantics."""
+
+    @abc.abstractmethod
+    def flag_set(self, proc: Processor, flag_id: int) -> Generator:
+        """Producer side of a one-shot synchronization flag."""
+
+    @abc.abstractmethod
+    def flag_wait(self, proc: Processor, flag_id: int) -> Generator:
+        """Consumer side of a one-shot synchronization flag."""
+
+    # -- remote request service ----------------------------------------------
+
+    @abc.abstractmethod
+    def serve(self, proc: Processor, request: Request) -> Generator:
+        """Handle one incoming remote request on ``proc``."""
+
+    # -- cost modelling hooks ---------------------------------------------
+
+    def compute_factors(self, ws: WorkingSet) -> tuple:
+        """Cache-model multipliers for a compute phase.
+
+        Returns ``(user_factor, total_factor, overhead_category)``:
+        ``user_factor`` is the inherent cache cost of the phase (what the
+        application would pay with no DSM system linked in);
+        ``total_factor`` adds the protocol's extra cache footprint (write
+        doubling for Cashmere, twins/diffs for TreadMarks); the
+        difference is charged to ``overhead_category``.
+        """
+        return 1.0, 1.0, Category.PROTOCOL
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Called once before worker processes begin."""
+
+    def prewarm(self) -> None:
+        """Give every processor a valid read-only copy of every page
+        (the ``warm_start`` option; see :class:`repro.config.RunConfig`)."""
+
+    def check_invariants(self) -> None:
+        """Debug hook: raise if internal state is inconsistent."""

@@ -1,0 +1,91 @@
+"""The per-worker environment: what an application thread sees.
+
+An :class:`Env` is passed to every SPMD worker.  It exposes compute,
+synchronization, and (through :class:`SharedArray`) shared-memory access,
+all as generators driven by the simulation engine.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import WorkingSet
+from repro.cluster.machine import Processor
+from repro.core.base import DsmProtocol
+from repro.stats import Category
+
+
+class Env:
+    """Execution environment of one worker (one processor)."""
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        proc: Processor,
+        protocol: DsmProtocol,
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self.proc = proc
+        self.protocol = protocol
+
+    @property
+    def now(self) -> float:
+        return self.proc.engine.now
+
+    def stop_timer(self) -> None:
+        """End the timed section: freeze this worker's statistics.
+
+        Call after the final barrier, before any verification gather, so
+        reported times and counters match what the paper measures.
+        """
+        self.proc.stats[self.rank].freeze(self.now)
+
+    # -- compute ----------------------------------------------------------
+
+    def compute(
+        self,
+        us: float,
+        polls: int = 0,
+        ws: Optional[WorkingSet] = None,
+    ) -> Generator:
+        """Run ``us`` microseconds of application work.
+
+        ``polls`` is the number of loop back-edges the instrumentation
+        pass would cover in this block; ``ws`` declares the cache working
+        set so protocol-added footprint (write doubling, twins) can
+        inflate the time as it does on the real 21064A.
+        """
+        shares = {Category.USER: 1.0}
+        total = us
+        if ws is not None:
+            user_f, total_f, overhead_cat = self.protocol.compute_factors(ws)
+            total = us * total_f
+            if total > 0 and total_f > user_f:
+                shares = {
+                    Category.USER: user_f / total_f,
+                    overhead_cat: (total_f - user_f) / total_f,
+                }
+        if not self.protocol.counts_polling:
+            polls = 0
+        yield from self.proc.compute(total, polls=polls, shares=shares)
+
+    # -- synchronization -----------------------------------------------------
+
+    def barrier(self, barrier_id: int = 0) -> Generator:
+        self.proc.bump("barriers")
+        yield from self.protocol.barrier(self.proc, barrier_id)
+
+    def lock_acquire(self, lock_id: int) -> Generator:
+        self.proc.bump("locks")
+        yield from self.protocol.lock_acquire(self.proc, lock_id)
+
+    def lock_release(self, lock_id: int) -> Generator:
+        yield from self.protocol.lock_release(self.proc, lock_id)
+
+    def flag_set(self, flag_id: int) -> Generator:
+        yield from self.protocol.flag_set(self.proc, flag_id)
+
+    def flag_wait(self, flag_id: int) -> Generator:
+        yield from self.protocol.flag_wait(self.proc, flag_id)

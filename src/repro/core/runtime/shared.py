@@ -1,0 +1,160 @@
+"""Typed views over the shared address space.
+
+A :class:`SharedArray` is how application code touches shared memory.
+Block reads and writes walk the overlapped pages and take exactly the
+read/write faults a hardware MMU would deliver, then move real bytes
+through the protocol's page copies.
+"""
+
+from __future__ import annotations
+
+import operator
+from functools import reduce
+from typing import Generator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.memory.address_space import SharedRegion
+
+Index = Union[int, Tuple[int, ...]]
+
+
+class SharedArray:
+    """An n-dimensional typed array living in DSM shared memory.
+
+    All access methods are generators: they must be driven with
+    ``yield from`` inside a worker so that faults and transfers consume
+    simulated time.  Multi-dimensional arrays are row-major, so a "row
+    block" is contiguous and spans a predictable set of pages — the
+    layout the paper's applications rely on for their banding.
+    """
+
+    def __init__(self, region: SharedRegion, dtype, shape: Sequence[int]):
+        self.region = region
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"bad shape {self.shape}")
+        self.size = reduce(operator.mul, self.shape, 1)
+        if self.size * self.dtype.itemsize > region.nbytes:
+            raise ValueError(
+                f"array {self.shape}x{self.dtype} does not fit region "
+                f"{region.name!r}"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def alloc(space, name: str, dtype, shape: Sequence[int]) -> "SharedArray":
+        dtype = np.dtype(dtype)
+        size = reduce(operator.mul, [int(s) for s in shape], 1)
+        region = space.alloc(name, size * dtype.itemsize)
+        return SharedArray(region, dtype, shape)
+
+    def initialize(self, values) -> None:
+        """Set initial contents (untimed initialization phase)."""
+        arr = np.asarray(values, self.dtype)
+        if arr.shape != self.shape:
+            arr = np.broadcast_to(arr, self.shape).copy()
+        self.region.initialize(arr)
+
+    # -- index math ----------------------------------------------------------
+
+    def _flatten(self, index: Index) -> int:
+        if isinstance(index, int):
+            index = (index,)
+        if len(index) != len(self.shape):
+            raise IndexError(f"index {index} does not match {self.shape}")
+        flat = 0
+        for i, (idx, dim) in enumerate(zip(index, self.shape)):
+            if not (0 <= idx < dim):
+                raise IndexError(f"index {index} out of bounds {self.shape}")
+            flat = flat * dim + idx
+        return flat
+
+    def _byte_range(self, start_elem: int, count: int) -> Tuple[int, int]:
+        if start_elem < 0 or count < 0 or start_elem + count > self.size:
+            raise IndexError(
+                f"element range [{start_elem}, {start_elem + count}) "
+                f"outside array of {self.size}"
+            )
+        item = self.dtype.itemsize
+        return self.region.offset + start_elem * item, count * item
+
+    def row_elems(self, row: int) -> Tuple[int, int]:
+        """(first flat element, count) of one leading-dimension row."""
+        stride = self.size // self.shape[0]
+        if not (0 <= row < self.shape[0]):
+            raise IndexError(f"row {row} out of range")
+        return row * stride, stride
+
+    def pages_for_rows(self, row0: int, row1: int) -> list:
+        """Page indices touched by rows ``[row0, row1)``."""
+        start, _ = self.row_elems(row0)
+        stride = self.size // self.shape[0]
+        offset, nbytes = self._byte_range(start, (row1 - row0) * stride)
+        return self.region.space.pages_in(offset, nbytes)
+
+    # -- element range access ------------------------------------------------
+
+    def read_range(self, env, start_elem: int, count: int) -> Generator:
+        """Read ``count`` elements starting at flat ``start_elem``."""
+        offset, nbytes = self._byte_range(start_elem, count)
+        out = np.empty(nbytes, np.uint8)
+        pos = 0
+        space = self.region.space
+        for page, start, length in space.page_spans(offset, nbytes):
+            yield from env.protocol.ensure_read(env.proc, page)
+            data = env.protocol.page_data(env.proc, page)
+            out[pos : pos + length] = data[start : start + length]
+            pos += length
+        return out.view(self.dtype)
+
+    def write_range(self, env, start_elem: int, values) -> Generator:
+        """Write ``values`` starting at flat ``start_elem``."""
+        raw = np.ascontiguousarray(values, self.dtype).view(np.uint8)
+        raw = raw.reshape(-1)
+        offset, nbytes = self._byte_range(
+            start_elem, raw.nbytes // self.dtype.itemsize
+        )
+        pos = 0
+        space = self.region.space
+        for page, start, length in space.page_spans(offset, nbytes):
+            yield from env.protocol.ensure_write(env.proc, page)
+            yield from env.protocol.apply_write(
+                env.proc, page, start, raw[pos : pos + length]
+            )
+            pos += length
+
+    # -- convenience views ------------------------------------------------------
+
+    def get(self, env, index: Index) -> Generator:
+        """Read a single element."""
+        values = yield from self.read_range(env, self._flatten(index), 1)
+        return values[0]
+
+    def put(self, env, index: Index, value) -> Generator:
+        """Write a single element."""
+        yield from self.write_range(env, self._flatten(index), [value])
+
+    def read_rows(self, env, row0: int, row1: int) -> Generator:
+        """Read rows ``[row0, row1)`` of the leading dimension."""
+        start, stride = self.row_elems(row0)
+        count = (row1 - row0) * stride
+        flat = yield from self.read_range(env, start, count)
+        return flat.reshape((row1 - row0,) + self.shape[1:])
+
+    def write_rows(self, env, row0: int, values) -> Generator:
+        """Write consecutive leading-dimension rows starting at row0."""
+        arr = np.asarray(values, self.dtype)
+        tail = self.shape[1:]
+        if arr.shape[1:] != tail:
+            raise ValueError(
+                f"row block shape {arr.shape} does not match {self.shape}"
+            )
+        start, _ = self.row_elems(row0)
+        yield from self.write_range(env, start, arr.reshape(-1))
+
+    def read_all(self, env) -> Generator:
+        flat = yield from self.read_range(env, 0, self.size)
+        return flat.reshape(self.shape)

@@ -1,0 +1,75 @@
+"""Figure 5: speedups of the eight applications, 1..32 processors, for
+all six protocol variants.
+
+"All calculations are with respect to the sequential times in Table 2."
+``csm_pp`` is not applicable at 32 processors (the fourth CPU of each
+node is the protocol processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import ALL_VARIANTS, Variant
+from repro.apps import registry
+from repro.harness.configs import paper_processor_counts
+from repro.harness.runner import ExperimentContext, feasible_counts
+
+# The full paper sweep is 1, 2, 4, 8, 12, 16, 24, 32; the default keeps
+# the distinctive points and halves the run count.
+DEFAULT_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass
+class SpeedupCurve:
+    app: str
+    variant: str
+    points: Dict[int, float] = field(default_factory=dict)
+
+
+def generate(
+    ctx: ExperimentContext = None,
+    apps: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[Variant]] = None,
+    counts: Optional[Sequence[int]] = None,
+) -> List[SpeedupCurve]:
+    ctx = ctx or ExperimentContext()
+    apps = list(apps or registry.APP_NAMES)
+    variants = list(variants or ALL_VARIANTS)
+    counts = list(counts or DEFAULT_COUNTS)
+    curves = []
+    for app in apps:
+        for variant in variants:
+            curve = SpeedupCurve(app=app, variant=variant.name)
+            for nprocs in feasible_counts(counts, variant, ctx):
+                curve.points[nprocs] = ctx.speedup(app, variant, nprocs)
+            curves.append(curve)
+    return curves
+
+
+def full_paper_counts() -> Sequence[int]:
+    return paper_processor_counts()
+
+
+def render(curves: List[SpeedupCurve]) -> str:
+    counts = sorted({n for c in curves for n in c.points})
+    lines = []
+    apps = []
+    for curve in curves:
+        if curve.app not in apps:
+            apps.append(curve.app)
+    for app in apps:
+        lines.append(f"== {app} ==")
+        lines.append(
+            f"{'variant':<13}" + "".join(f"{n:>8}" for n in counts)
+        )
+        for curve in curves:
+            if curve.app != app:
+                continue
+            cells = [
+                f"{curve.points[n]:>8.2f}" if n in curve.points else f"{'-':>8}"
+                for n in counts
+            ]
+            lines.append(f"{curve.variant:<13}" + "".join(cells))
+    return "\n".join(lines)

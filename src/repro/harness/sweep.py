@@ -1,0 +1,128 @@
+"""Network-sensitivity sweeps.
+
+The paper attributes the narrow Cashmere/TreadMarks gap to "three
+principal factors": modest cross-sectional bandwidth, the lack of remote
+reads, and small first-level caches.  These sweeps vary the modelled
+network (bandwidth, latency) and report how each system's speedup
+responds — quantifying the paper's claim that finer-grain DSM "is in a
+position to make excellent use" of better hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CSM_POLL, TMK_MC_POLL, CostModel, Variant
+from repro.harness.runner import ExperimentContext
+
+
+@dataclass
+class SweepPoint:
+    """One (knob value, variant) measurement."""
+
+    knob: str
+    value: float
+    variant: str
+    speedup: float
+
+
+def _context_with(base: ExperimentContext, costs: CostModel):
+    return ExperimentContext(
+        scale=base.scale,
+        cluster=base.cluster,
+        costs=costs,
+        warm_start=base.warm_start,
+    )
+
+
+def sweep_bandwidth(
+    ctx: ExperimentContext,
+    app: str = "sor",
+    nprocs: int = 16,
+    multipliers: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 10.0),
+    variants: Optional[Sequence[Variant]] = None,
+) -> List[SweepPoint]:
+    """Scale link and aggregate bandwidth together."""
+    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
+    points = []
+    for multiplier in multipliers:
+        costs = replace(
+            ctx.costs,
+            mc_link_bandwidth=ctx.costs.mc_link_bandwidth * multiplier,
+            mc_aggregate_bandwidth=(
+                ctx.costs.mc_aggregate_bandwidth * multiplier
+            ),
+        )
+        swept = _context_with(ctx, costs)
+        for variant in variants:
+            seq = swept.sequential(app)
+            run = swept.run(app, variant, nprocs)
+            points.append(
+                SweepPoint(
+                    knob="bandwidth",
+                    value=multiplier,
+                    variant=variant.name,
+                    speedup=run.speedup_over(seq.exec_time),
+                )
+            )
+    return points
+
+
+def sweep_latency(
+    ctx: ExperimentContext,
+    app: str = "sor",
+    nprocs: int = 16,
+    latencies: Sequence[float] = (2.6, 5.2, 10.4, 20.8),
+    variants: Optional[Sequence[Variant]] = None,
+) -> List[SweepPoint]:
+    """Vary the Memory Channel remote-write latency."""
+    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
+    points = []
+    for latency in latencies:
+        costs = replace(ctx.costs, mc_latency=latency)
+        swept = _context_with(ctx, costs)
+        for variant in variants:
+            seq = swept.sequential(app)
+            run = swept.run(app, variant, nprocs)
+            points.append(
+                SweepPoint(
+                    knob="latency",
+                    value=latency,
+                    variant=variant.name,
+                    speedup=run.speedup_over(seq.exec_time),
+                )
+            )
+    return points
+
+
+def gains(points: List[SweepPoint]) -> Dict[str, float]:
+    """Best-over-worst speedup ratio per variant across the sweep."""
+    by_variant: Dict[str, List[float]] = {}
+    for point in points:
+        by_variant.setdefault(point.variant, []).append(point.speedup)
+    return {
+        name: max(values) / min(values)
+        for name, values in by_variant.items()
+    }
+
+
+def render(points: List[SweepPoint]) -> str:
+    knob = points[0].knob if points else "knob"
+    variants = []
+    for point in points:
+        if point.variant not in variants:
+            variants.append(point.variant)
+    values = sorted({p.value for p in points})
+    lines = [f"{knob:>12}" + "".join(f"{v:>13}" for v in variants)]
+    for value in values:
+        cells = []
+        for variant in variants:
+            match = next(
+                p
+                for p in points
+                if p.value == value and p.variant == variant
+            )
+            cells.append(f"{match.speedup:>13.2f}")
+        lines.append(f"{value:>12.1f}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Word-granularity run-length diffs, exactly as TreadMarks makes them.
+
+A diff is the run-length encoding of the words that differ between a
+page's *twin* (the pristine copy saved at the first write) and its
+current contents.  Diffs are created lazily when another processor asks
+for a page's changes, and applied in causal order at the requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+WORD = 8  # Alpha quadword, the diffing granularity
+
+# Each encoded run carries one descriptor word (offset + length) plus the
+# changed data itself.
+RUN_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Diff:
+    """Changed byte runs of one page: ``[(byte_offset, data), ...]``."""
+
+    runs: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def encoded_size(self) -> int:
+        """Bytes on the wire: run descriptors plus changed data."""
+        return sum(RUN_HEADER_BYTES + len(data) for _, data in self.runs)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(len(data) for _, data in self.runs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+
+def make_diff(twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Encode the words of ``current`` that differ from ``twin``.
+
+    Both arguments are uint8 arrays of the same page-sized, word-aligned
+    length.
+    """
+    if twin.shape != current.shape:
+        raise ValueError("twin and current page must be the same size")
+    if len(twin) % WORD:
+        raise ValueError(f"page size must be a multiple of {WORD}")
+    changed = twin.view(np.uint64) != current.view(np.uint64)
+    if not changed.any():
+        return Diff(())
+    idx = np.flatnonzero(changed)
+    runs: List[Tuple[int, bytes]] = []
+    run_start = idx[0]
+    prev = idx[0]
+    for word in idx[1:]:
+        if word != prev + 1:
+            runs.append(_encode_run(current, run_start, prev))
+            run_start = word
+        prev = word
+    runs.append(_encode_run(current, run_start, prev))
+    return Diff(tuple(runs))
+
+
+def _encode_run(
+    current: np.ndarray, first_word: int, last_word: int
+) -> Tuple[int, bytes]:
+    start = int(first_word) * WORD
+    stop = (int(last_word) + 1) * WORD
+    return start, current[start:stop].tobytes()
+
+
+def apply_diff(target: np.ndarray, diff: Diff) -> None:
+    """Merge ``diff`` into ``target`` (a page-sized uint8 array)."""
+    for offset, data in diff.runs:
+        if offset + len(data) > len(target):
+            raise ValueError("diff run exceeds page bounds")
+        target[offset : offset + len(data)] = np.frombuffer(data, np.uint8)
+
+
+def apply_diff_versioned(
+    targets,
+    diff: Diff,
+    word_tags: np.ndarray,
+    tag: int,
+) -> None:
+    """Merge ``diff`` into each array in ``targets``, word-versioned.
+
+    A word is overwritten only if ``tag`` exceeds its recorded version;
+    winning words take the new version.  Cumulative diffs can leak a
+    write from an interval later than the one a requester asked for, so
+    an *older* concurrent diff arriving afterwards must not regress such
+    words — for race-free programs, writes to one word are totally
+    ordered by synchronization, and the causal tags preserve that order
+    (see ``TmkPage.lamport``).
+    """
+    for offset, data in diff.runs:
+        if offset + len(data) > len(targets[0]):
+            raise ValueError("diff run exceeds page bounds")
+        first = offset // WORD
+        n_words = len(data) // WORD
+        tags = word_tags[first : first + n_words]
+        winners = tags < tag
+        if not winners.any():
+            continue
+        tags[winners] = tag
+        raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
+        for target in targets:
+            view = target[offset : offset + len(data)].reshape(n_words, WORD)
+            view[winners] = raw[winners]

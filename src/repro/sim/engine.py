@@ -1,0 +1,270 @@
+"""Deterministic discrete-event simulation engine.
+
+The design follows SimPy's process/event model, reduced to exactly what
+the DSM simulation needs:
+
+* :class:`Event` — one-shot; processes wait on it by yielding it.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`AnyOf` — fires as soon as any child event fires.
+* :class:`Process` — wraps a generator; is itself an event that fires
+  when the generator returns.  Supports :meth:`Process.interrupt`, which
+  the cluster model uses to deliver remote requests into a running
+  compute block.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live processes remain but no event can ever fire."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event; fires at most once with an optional value."""
+
+    __slots__ = ("engine", "callbacks", "_triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now; waiters resume at the current sim time."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.engine._schedule_callbacks(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated microseconds from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        engine._schedule_at(engine.now + delay, self)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires; value is that event."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf needs at least one event")
+        fired = next((e for e in self.events if e.triggered), None)
+        if fired is not None:
+            self.succeed(fired)
+            return
+        for event in self.events:
+            event.callbacks.append(self._child_fired)
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Detach from the children that did not fire; long-lived events
+        # (processor mailboxes, lock grants) would otherwise accumulate
+        # one dead callback per wait.
+        for child in self.events:
+            if child is not event:
+                _remove_callback(child, self._child_fired)
+        self.succeed(event)
+
+
+class Process(Event):
+    """A running generator process.  Fires (as an event) on return."""
+
+    __slots__ = (
+        "generator",
+        "name",
+        "daemon",
+        "_waiting_on",
+        "_interrupt_pending",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: str = "proc",
+        daemon: bool = False,
+    ):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+        self._waiting_on: Optional[Event] = None
+        self._interrupt_pending: Optional[Interrupt] = None
+        engine._schedule_now(self._start)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        if self._interrupt_pending is not None:
+            return  # coalesce; one wakeup is enough
+        self._interrupt_pending = Interrupt(cause)
+        self.engine._schedule_now(self._deliver_interrupt)
+
+    # -- internals ----------------------------------------------------
+
+    def _start(self) -> None:
+        self._step(lambda: self.generator.send(None))
+
+    def _deliver_interrupt(self) -> None:
+        interrupt = self._interrupt_pending
+        self._interrupt_pending = None
+        if interrupt is None or self._triggered:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None:
+            _remove_callback(waited, self._resume)
+        self._step(lambda: self.generator.throw(interrupt))
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup (we were interrupted away from it)
+        self._waiting_on = None
+        self._step(lambda: self.generator.send(event.value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+        if target.triggered:
+            self.engine._schedule_now(lambda: self._resume_immediate(target))
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def _resume_immediate(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.generator.send(event.value))
+
+
+def _remove_callback(event: Event, callback: Callable) -> None:
+    try:
+        event.callbacks.remove(callback)
+    except ValueError:
+        pass
+
+
+class Engine:
+    """The event loop: a time-ordered heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._processes: List[Process] = []
+
+    # -- public construction helpers ----------------------------------
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str = "proc",
+        daemon: bool = False,
+    ) -> Process:
+        proc = Process(self, generator, name, daemon)
+        self._processes.append(proc)
+        return proc
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute sim time ``when``."""
+        if when < self.now:
+            raise ValueError("cannot schedule in the past")
+        self._push(when, action)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until no work remains (or ``until`` sim time); return now."""
+        while self._heap:
+            when, _seq, action = self._heap[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if when < self.now:
+                raise RuntimeError("event scheduled in the past")
+            self.now = when
+            action()
+        stuck = [
+            p.name for p in self._processes if p.is_alive and not p.daemon
+        ]
+        if stuck:
+            raise DeadlockError(
+                f"no events pending but processes still alive: {stuck}"
+            )
+        return self.now
+
+    # -- internals -----------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._push(when, lambda: event.succeed())
+
+    def _schedule_now(self, action: Callable[[], None]) -> None:
+        self._push(self.now, action)
+
+    def _schedule_callbacks(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+
+        def fire() -> None:
+            for callback in callbacks:
+                callback(event)
+
+        self._push(self.now, fire)
+
+    def _push(self, when: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, action))

@@ -1,0 +1,6 @@
+"""Per-processor time accounting and event counters."""
+
+from repro.stats.counters import Category, ProcStats, StatsBoard
+from repro.stats.breakdown import Breakdown
+
+__all__ = ["Category", "ProcStats", "StatsBoard", "Breakdown"]

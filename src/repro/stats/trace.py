@@ -1,0 +1,79 @@
+"""Optional protocol event tracing.
+
+With ``RunConfig(trace=True)`` the protocols record every observable
+coherence event — faults, page fetches, twins, diffs, invalidations,
+synchronization — as :class:`TraceEvent` tuples.  The trace is exposed
+on ``RunResult.trace`` and is the basis of the protocol-microscope
+example and of fine-grained protocol tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event at a simulated instant."""
+
+    time: float
+    pid: int
+    kind: str
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default=None):
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.details)
+        return f"[{self.time:12.1f}us] p{self.pid:<3} {self.kind:<18} {parts}"
+
+
+class Tracer:
+    """Collects protocol events; a disabled tracer costs one branch."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, pid: int, kind: str, **details) -> None:
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(time, pid, kind, tuple(sorted(details.items())))
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def for_pid(self, pid: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.pid == pid]
+
+    def for_page(self, page: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.get("page") == page]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)
+
+
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel
+
+
+@pytest.fixture
+def engine():
+    from repro.sim import Engine
+
+    return Engine()
+
+
+@pytest.fixture
+def cluster_config():
+    return ClusterConfig()
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
