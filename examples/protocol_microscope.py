@@ -15,6 +15,7 @@ import numpy as np
 
 from repro import ALL_VARIANTS, RunConfig, run_program
 from repro.core import Program, SharedArray
+from repro.stats.trace import diff_traces
 
 
 def setup(space, params):
@@ -73,15 +74,45 @@ def main() -> None:
         " 64 changed words."
     )
 
-    # Full event traces of the polling variants, side by side.
+    # Full event traces of the polling variants, side by side, through
+    # the tracer's query API (see docs/OBSERVABILITY.md).
     from repro import CSM_POLL, TMK_MC_POLL
 
+    traces = {}
     for variant in (CSM_POLL, TMK_MC_POLL):
         result = run_program(
             program, RunConfig(variant=variant, nprocs=2, trace=True), {}
         )
+        traces[variant.name] = result.trace
         print(f"\n--- {variant.name} event trace ---")
         print(result.trace.render())
+
+    # The same page, two coherence stories: its chronological history
+    # under each protocol (every fault, transfer, twin, diff,
+    # invalidation that names it).
+    page = traces["csm_poll"].of_kind("write_fault")[0].get("page")
+    for name, trace in traces.items():
+        print(f"\n--- page {page} history under {name} ---")
+        for event in trace.page_history(page):
+            print(event)
+
+    # Where did the handoff's time go?  Slice the consumer's timeline
+    # around the first barrier episode.
+    barrier = traces["tmk_mc_poll"].spans("barrier")[0]
+    window = traces["tmk_mc_poll"].between(barrier.time, barrier.end)
+    print(
+        f"\n{len(window)} events inside p{barrier.pid}'s first barrier "
+        f"episode ({barrier.dur:.1f}us)"
+    )
+
+    # And the structural comparison, aligned at the shared barriers.
+    print("\n--- trace diff: csm_poll vs tmk_mc_poll ---")
+    print(
+        diff_traces(
+            traces["csm_poll"], traces["tmk_mc_poll"],
+            "csm_poll", "tmk_mc_poll",
+        ).render()
+    )
 
 
 if __name__ == "__main__":

@@ -27,10 +27,18 @@ class DsmProtocol(abc.ABC):
     #: installed by the program runner; a disabled tracer is free
     tracer = None
 
-    def trace(self, proc, kind: str, **details) -> None:
-        """Record a protocol event when tracing is enabled."""
+    def trace(self, proc, kind: str, *, dur: float = 0.0, **details) -> None:
+        """Record a protocol event when tracing is enabled.
+
+        ``dur > 0`` records a *span* that started ``dur`` microseconds
+        ago (callers emit spans when they end); the tracer files it
+        under its start time.  See ``docs/OBSERVABILITY.md`` for the
+        catalog of kinds and their ``details`` fields.
+        """
         if self.tracer is not None and self.tracer.enabled:
-            self.tracer.emit(proc.engine.now, proc.pid, kind, **details)
+            self.tracer.emit(
+                proc.engine.now - dur, proc.pid, kind, dur=dur, **details
+            )
 
     # -- page access ------------------------------------------------------
 

@@ -290,9 +290,13 @@ class CashmereProtocol(DsmProtocol):
         # A release cannot complete before its write-through has been
         # applied at the home nodes.
         if state.flush_due > self.engine.now:
+            flush_start = self.engine.now
             done = self.engine.event()
             self.engine.call_at(state.flush_due, lambda: done.succeed())
             yield from proc.wait(done, Category.COMM_WAIT)
+            self.trace(
+                proc, "write_flush", dur=self.engine.now - flush_start
+            )
         if self.cfg.weak_state:
             return  # the legacy protocol sends no write notices
         for page in state.dirty:
@@ -372,6 +376,7 @@ class CashmereProtocol(DsmProtocol):
 
     def barrier(self, proc: Processor, barrier_id: int) -> Generator:
         yield from self._process_release(proc)
+        self.trace(proc, "barrier_arrive", barrier=barrier_id)
         yield from self.sync.barrier(barrier_id).arrive_and_wait(proc)
         yield from self._process_acquire(proc)
 

@@ -278,8 +278,16 @@ class HlrcProtocol(LrcProtocolBase):
                 size=diff.encoded_size + 16,
             )
             outstanding.append(request)
-        for request in outstanding:
-            yield from proc.wait(request.reply_event)
+        if outstanding:
+            t0 = self.engine.now
+            for request in outstanding:
+                yield from proc.wait(request.reply_event)
+            self.trace(
+                proc,
+                "diff_flush_wait",
+                dur=self.engine.now - t0,
+                diffs=len(outstanding),
+            )
 
     # ------------------------------------------------------------------
     # base-class hooks

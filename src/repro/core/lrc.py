@@ -247,10 +247,17 @@ class LrcProtocolBase(DsmProtocol):
         self, proc: Processor, lock: LockState, request: Request
     ) -> Generator:
         """Pass the lock token (and unseen intervals) to a requester."""
-        _lock_id, requester_vts = request.payload
+        lock_id, requester_vts = request.payload
         state = self._state(proc)
         yield from self._close_interval(proc)
         records = state.store.records_after(requester_vts)
+        self.trace(
+            proc,
+            "lock_grant",
+            lock=lock_id,
+            to=request.requester.pid,
+            records=len(records),
+        )
         lock.owns_token = False
         yield from self.messenger.reply(
             proc,
@@ -298,6 +305,7 @@ class LrcProtocolBase(DsmProtocol):
 
     def barrier(self, proc: Processor, barrier_id: int) -> Generator:
         yield from self._close_interval(proc)
+        self.trace(proc, "barrier_arrive", barrier=barrier_id)
         if self.nprocs == 1:
             state = self._state(proc)
             if state.store.record_count() > self.gc_record_threshold:

@@ -202,6 +202,7 @@ class TreadMarksProtocol(LrcProtocolBase):
         page.pending.clear()
         if not needed:
             return
+        self.trace(proc, "diff_fetch", page=page_idx, writers=len(needed))
         # Request all writers' diffs concurrently, then collect replies.
         requests = []
         for writer in sorted(needed):

@@ -7,6 +7,11 @@ Examples::
     repro-dsm table3 --apps sor lu --procs 16
     repro-dsm figure5 --apps sor --variants csm_poll tmk_mc_poll
     repro-dsm figure6 --warm-start
+    repro-dsm trace sor --variants csm_poll tmk_mc_poll --trace-out out.jsonl
+    repro-dsm run sor --variant csm_poll --trace-out sor.json --trace-format chrome
+
+The full subcommand reference lives in README.md; the trace file
+formats and event catalog in docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -20,6 +25,8 @@ from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, variant_by_name
 from repro.apps import registry
 from repro.harness import figure5, figure6, table1, table2, table3
 from repro.harness.runner import ExperimentContext
+from repro.stats.export import EXPORT_FORMATS, export_runs
+from repro.stats.trace import diff_traces
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -38,11 +45,30 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "amortisation; see DESIGN.md)"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "record protocol events for every run of this command and "
+            "export them to PATH (see docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=EXPORT_FORMATS,
+        default=None,
+        help=(
+            "trace export format: jsonl (lossless, default) or chrome "
+            "(Perfetto / chrome://tracing)"
+        ),
+    )
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
     return ExperimentContext(
-        scale=args.scale, warm_start=not args.cold_start
+        scale=args.scale,
+        warm_start=not args.cold_start,
+        trace=args.trace_out is not None,
     )
 
 
@@ -118,6 +144,35 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--app", default="sor", choices=registry.APP_NAMES)
     sw.add_argument("--procs", type=int, default=16)
 
+    tr = sub.add_parser(
+        "trace",
+        help="run an application under tracing and export the event "
+        "timeline (JSONL or Chrome trace format)",
+    )
+    _add_common(tr)
+    tr.add_argument("app", choices=registry.APP_NAMES)
+    tr.add_argument(
+        "--variants",
+        nargs="+",
+        default=["csm_poll"],
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+        help="protocol variants to trace (two traces of the same app "
+        "are aligned and diffed)",
+    )
+    tr.add_argument("--procs", type=int, default=8)
+    tr.add_argument(
+        "--format",
+        choices=EXPORT_FORMATS,
+        default=None,
+        help="alias for --trace-format",
+    )
+    tr.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="also print the first N events of each trace",
+    )
+
     one = sub.add_parser("run", help="one application run, in detail")
     _add_common(one)
     one.add_argument("app", choices=registry.APP_NAMES)
@@ -142,12 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_trace(ctx: ExperimentContext, args: argparse.Namespace) -> None:
+    """The ``trace`` subcommand: run, summarize, and diff traces."""
+    traces = {}
+    for name in args.variants:
+        variant = variant_by_name(name)
+        result = ctx.run(args.app, variant, args.procs, trace=True)
+        traces[name] = result.trace
+        counts = result.trace.counts()
+        print(
+            f"{args.app} under {name} on {args.procs} processors: "
+            f"{len(result.trace):,} events in "
+            f"{result.exec_time / 1e6:.3f} simulated seconds"
+        )
+        for kind in sorted(counts):
+            print(f"  {kind:<20}: {counts[kind]:,}")
+        if args.limit:
+            print(f"\nfirst {args.limit} events of {name}:")
+            print(result.trace.render(limit=args.limit))
+            print()
+    if len(args.variants) == 2:
+        a, b = args.variants
+        print(f"\n--- trace diff: {a} vs {b} ---")
+        print(diff_traces(traces[a], traces[b], a, b).render())
+
+
 def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
     from repro.stats import Category
 
     variant = variant_by_name(args.variant)
     sequential = ctx.sequential(args.app)
-    result = ctx.run(args.app, variant, args.procs, trace=args.trace)
+    result = ctx.run(args.app, variant, args.procs, trace=args.trace or ctx.trace)
     speedup = result.speedup_over(sequential.exec_time)
     print(f"{args.app} on {args.procs} processors under {variant.name}")
     print(f"  sequential : {sequential.exec_time / 1e6:10.3f} s")
@@ -227,8 +307,35 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         print(sweep_mod.render(points))
         print("gains:", sweep_mod.gains(points))
+    elif args.command == "trace":
+        _run_trace(ctx, args)
     elif args.command == "run":
         _run_one(ctx, args)
+    if args.trace_out:
+        fmt = (
+            getattr(args, "format", None) or args.trace_format or "jsonl"
+        )
+        if ctx.trace_runs:
+            try:
+                export_runs(ctx.trace_runs, args.trace_out, format=fmt)
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace to {args.trace_out}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            total = sum(len(run.events) for run in ctx.trace_runs)
+            print(
+                f"[trace: {len(ctx.trace_runs)} run(s), {total:,} events "
+                f"-> {args.trace_out} ({fmt})]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"[trace: no runs recorded; nothing written to "
+                f"{args.trace_out}]",
+                file=sys.stderr,
+            )
     print(
         f"\n[{args.command} regenerated in {time.time() - started:.1f}s "
         f"wall time, scale={args.scale}]",

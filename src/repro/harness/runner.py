@@ -13,6 +13,7 @@ from repro.config import (
 )
 from repro.core import Program, RunResult, run_program, run_sequential
 from repro.apps import registry
+from repro.stats.export import TraceRun
 
 
 @dataclass
@@ -27,6 +28,12 @@ class ExperimentContext:
     # of execution time, while at scaled-down sizes it can dominate
     # (see DESIGN.md, "Scaling methodology").
     warm_start: bool = True
+    # With ``trace=True`` every run records protocol events and lands in
+    # ``trace_runs`` (with full provenance metadata), ready for the
+    # exporters in repro.stats.export — this is what the CLI's global
+    # ``--trace-out`` flag switches on.
+    trace: bool = False
+    trace_runs: List[TraceRun] = field(default_factory=list)
     _sequential: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
 
     def app(self, name: str):
@@ -74,9 +81,15 @@ class ExperimentContext:
             cluster=self.cluster,
             costs=self.costs_for(name),
             warm_start=self.warm_start,
+            trace=overrides.pop("trace", self.trace),
             **overrides,
         )
-        return run_program(module.program(), run_cfg, self.params(name))
+        result = run_program(module.program(), run_cfg, self.params(name))
+        if run_cfg.trace:
+            self.trace_runs.append(
+                TraceRun.from_result(result, scale=self.scale)
+            )
+        return result
 
     def speedup(self, name: str, variant: Variant, nprocs: int, **kw) -> float:
         seq = self.sequential(name)

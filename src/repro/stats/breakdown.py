@@ -43,6 +43,10 @@ class Breakdown:
             return {c: 0.0 for c in _ORDER}
         return {c: self.time[c] / total for c in _ORDER}
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready category->microseconds mapping (trace metadata)."""
+        return {c.value: self.time[c] for c in _ORDER}
+
     def normalized(self, reference_total: float) -> Dict[Category, float]:
         """Each category as a fraction of ``reference_total`` (Figure 6
         normalises both systems against Cashmere's total time)."""

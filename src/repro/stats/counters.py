@@ -70,6 +70,16 @@ class ProcStats:
     def total_time(self) -> float:
         return sum(self.reported_time.values())
 
+    def as_dict(self) -> Dict:
+        """JSON-ready snapshot of the reported (frozen if frozen) view;
+        used by the trace exporters' run metadata."""
+        return {
+            "pid": self.pid,
+            "finish_time": self.finish_time,
+            "time_us": {c.value: t for c, t in self.reported_time.items()},
+            "counters": dict(self.reported_counters),
+        }
+
 
 class StatsBoard:
     """All processors' statistics for one run, plus aggregation."""
@@ -98,3 +108,10 @@ class StatsBoard:
     @property
     def finish_time(self) -> float:
         return max((p.finish_time for p in self.procs), default=0.0)
+
+    def as_dict(self) -> Dict:
+        """JSON-ready per-processor snapshot (see ProcStats.as_dict)."""
+        return {
+            "finish_time": self.finish_time,
+            "procs": [p.as_dict() for p in self.procs],
+        }
