@@ -1,0 +1,155 @@
+"""Wall-clock benchmark for the parallel harness and result cache.
+
+Times one fixed Figure-5 slice three ways:
+
+1. **serial** — ``jobs=1``, cache disabled (the pre-PR baseline path);
+2. **parallel** — ``jobs=N`` process-pool fan-out, cache disabled;
+3. **warm cache** — ``jobs=1`` against a cache populated by pass 1.
+
+All three must produce identical speedup curves (asserted here; the
+same guarantee is locked in by ``tests/test_parallel_harness.py``), so
+any wall-clock difference is pure harness overhead.  Results land in
+``BENCH_PR2.json`` together with host provenance — process-pool gains
+scale with physical cores, so absolute numbers are only comparable on
+the recorded host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py \
+        [--jobs N] [--scale tiny] [--out BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import CSM_POLL, TMK_MC_POLL
+from repro.harness import figure5
+from repro.harness.cache import ResultCache
+from repro.harness.runner import ExperimentContext
+
+APPS = ("sor", "water", "gauss")
+VARIANTS = (CSM_POLL, TMK_MC_POLL)
+COUNTS = (1, 4, 8, 16)
+
+
+def _curves_signature(curves):
+    return [(c.app, c.variant, sorted(c.points.items())) for c in curves]
+
+
+def _generate(scale: str, jobs: int, cache) -> tuple:
+    ctx = ExperimentContext(scale=scale, jobs=jobs, cache=cache)
+    started = time.perf_counter()
+    curves = figure5.generate(
+        ctx, apps=APPS, variants=VARIANTS, counts=COUNTS
+    )
+    elapsed = time.perf_counter() - started
+    return _curves_signature(curves), elapsed, ctx
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument(
+        "--scale", default="tiny", choices=("tiny", "small", "large")
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+    )
+    args = parser.parse_args(argv)
+
+    n_points = len(APPS) * (1 + len(VARIANTS) * len(COUNTS))
+    print(
+        f"benchmarking figure5 slice: {len(APPS)} apps x {len(VARIANTS)} "
+        f"variants x {len(COUNTS)} counts ({n_points} simulation points), "
+        f"scale={args.scale}",
+        file=sys.stderr,
+    )
+
+    serial_sig, serial_s, _ = _generate(args.scale, jobs=1, cache=None)
+    print(f"  serial   (jobs=1, no cache): {serial_s:8.2f}s", file=sys.stderr)
+
+    parallel_sig, parallel_s, _ = _generate(
+        args.scale, jobs=args.jobs, cache=None
+    )
+    print(
+        f"  parallel (jobs={args.jobs}, no cache): {parallel_s:8.2f}s",
+        file=sys.stderr,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-dsm-bench-") as tmp:
+        cache_dir = Path(tmp)
+        cold_sig, cold_s, cold_ctx = _generate(
+            args.scale, jobs=1, cache=ResultCache(cache_dir=cache_dir)
+        )
+        warm_sig, warm_s, warm_ctx = _generate(
+            args.scale, jobs=1, cache=ResultCache(cache_dir=cache_dir)
+        )
+    print(
+        f"  cold cache: {cold_s:8.2f}s ({cold_ctx.cache.stats}); "
+        f"warm cache: {warm_s:8.2f}s ({warm_ctx.cache.stats})",
+        file=sys.stderr,
+    )
+
+    assert serial_sig == parallel_sig, "parallel results diverge from serial"
+    assert serial_sig == cold_sig, "cached-run results diverge from serial"
+    assert serial_sig == warm_sig, "cache-hit results diverge from serial"
+    print("  all four passes bit-identical", file=sys.stderr)
+
+    report = {
+        "benchmark": "figure5-slice wall clock (serial vs --jobs vs cache)",
+        "slice": {
+            "apps": list(APPS),
+            "variants": [v.name for v in VARIANTS],
+            "counts": list(COUNTS),
+            "scale": args.scale,
+            "simulation_points": n_points,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "seconds": {
+            "serial_jobs1": round(serial_s, 3),
+            f"parallel_jobs{args.jobs}": round(parallel_s, 3),
+            "cold_cache_jobs1": round(cold_s, 3),
+            "warm_cache_jobs1": round(warm_s, 3),
+        },
+        "speedup_over_serial": {
+            f"parallel_jobs{args.jobs}": round(serial_s / parallel_s, 2),
+            "warm_cache": round(serial_s / warm_s, 2),
+        },
+        "cache": {
+            "cold": {
+                "hits": cold_ctx.cache.stats.hits,
+                "misses": cold_ctx.cache.stats.misses,
+            },
+            "warm": {
+                "hits": warm_ctx.cache.stats.hits,
+                "misses": warm_ctx.cache.stats.misses,
+            },
+        },
+        "identical_results": True,
+        "notes": (
+            "process-pool gains scale with physical cores: on a "
+            f"{os.cpu_count()}-core host, expect --jobs N to approach "
+            "min(N, cores)x on the dominant points; on 1 core the pool "
+            "only adds overhead and the cache provides the win"
+        ),
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,11 +19,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, variant_by_name
 from repro.apps import registry
 from repro.harness import figure5, figure6, table1, table2, table3
+from repro.harness.cache import ResultCache
 from repro.harness.runner import ExperimentContext
 from repro.stats.export import EXPORT_FORMATS, export_runs
 from repro.stats.trace import diff_traces
@@ -62,13 +64,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "(Perfetto / chrome://tracing)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run independent simulation points on N worker processes "
+            "(results are bit-identical to --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result-cache directory (default: $REPRO_DSM_CACHE, then "
+            "~/.cache/repro-dsm)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every point and overwrite any cached results",
+    )
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            refresh=args.refresh,
+        )
     return ExperimentContext(
         scale=args.scale,
         warm_start=not args.cold_start,
         trace=args.trace_out is not None,
+        jobs=args.jobs,
+        cache=cache,
     )
 
 
@@ -336,11 +376,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{args.trace_out}]",
                 file=sys.stderr,
             )
-    print(
+    footer = (
         f"\n[{args.command} regenerated in {time.time() - started:.1f}s "
-        f"wall time, scale={args.scale}]",
-        file=sys.stderr,
+        f"wall time, scale={args.scale}, jobs={args.jobs}"
     )
+    if ctx.cache is not None:
+        footer += f", cache: {ctx.cache.stats}"
+    print(footer + "]", file=sys.stderr)
     return 0
 
 

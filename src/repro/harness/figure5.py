@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.config import ALL_VARIANTS, Variant
 from repro.apps import registry
 from repro.harness.configs import paper_processor_counts
-from repro.harness.runner import ExperimentContext, feasible_counts
+from repro.harness.runner import BatchPoint, ExperimentContext, feasible_counts
 
 # The full paper sweep is 1, 2, 4, 8, 12, 16, 24, 32; the default keeps
 # the distinctive points and halves the run count.
@@ -38,14 +38,27 @@ def generate(
     apps = list(apps or registry.APP_NAMES)
     variants = list(variants or ALL_VARIANTS)
     counts = list(counts or DEFAULT_COUNTS)
+    # Every point of the figure — sequential baselines included — is an
+    # independent simulation; collect them all and let run_batch fan
+    # them out across ``ctx.jobs`` workers and the result cache.
+    batch: List[BatchPoint] = [BatchPoint(app, None) for app in apps]
     curves = []
     for app in apps:
         for variant in variants:
             curve = SpeedupCurve(app=app, variant=variant.name)
-            for nprocs in feasible_counts(counts, variant, ctx):
-                curve.points[nprocs] = ctx.speedup(app, variant, nprocs)
-            curves.append(curve)
-    return curves
+            feasible = feasible_counts(counts, variant, ctx)
+            batch.extend(BatchPoint(app, variant, n) for n in feasible)
+            curves.append((curve, feasible))
+    results = ctx.run_batch(batch)
+    sequential = dict(zip(apps, results[: len(apps)]))
+    cursor = len(apps)
+    for curve, feasible in curves:
+        for nprocs in feasible:
+            curve.points[nprocs] = results[cursor].speedup_over(
+                sequential[curve.app].exec_time
+            )
+            cursor += 1
+    return [curve for curve, _ in curves]
 
 
 def full_paper_counts() -> Sequence[int]:

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import CSM_POLL, TMK_MC_POLL
 from repro.apps import registry
-from repro.harness.runner import ExperimentContext
+from repro.harness.runner import BatchPoint, ExperimentContext
 from repro.harness.table3 import procs_for
 from repro.stats import Category
 
@@ -53,11 +53,17 @@ def generate(
 ) -> List[BreakdownBar]:
     ctx = ctx or ExperimentContext()
     apps = list(apps or registry.APP_NAMES)
+    batch = [
+        BatchPoint(app, variant, nprocs or procs_for(app))
+        for app in apps
+        for variant in (CSM_POLL, TMK_MC_POLL)
+    ]
+    results = iter(ctx.run_batch(batch))
     bars = []
     for app in apps:
         n = nprocs or procs_for(app)
-        csm = ctx.run(app, CSM_POLL, n)
-        tmk = ctx.run(app, TMK_MC_POLL, n)
+        csm = next(results)
+        tmk = next(results)
         reference = csm.breakdown.total
         bars.append(
             BreakdownBar(

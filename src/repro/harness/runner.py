@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.config import (
     ClusterConfig,
@@ -13,7 +13,25 @@ from repro.config import (
 )
 from repro.core import Program, RunResult, run_program, run_sequential
 from repro.apps import registry
+from repro.harness.cache import ResultCache, run_key, sequential_key
+from repro.harness.parallel import SEQUENTIAL, PointSpec, run_points
 from repro.stats.export import TraceRun
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One experiment point for :meth:`ExperimentContext.run_batch`.
+
+    ``variant=None`` requests the app's sequential (unlinked) baseline;
+    ``costs=None`` uses the context's (app-adjusted) cost model — sweeps
+    pass explicit swept models.
+    """
+
+    app: str
+    variant: Optional[Variant]
+    nprocs: int = 1
+    costs: Optional[CostModel] = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
 
 
 @dataclass
@@ -34,6 +52,13 @@ class ExperimentContext:
     # ``--trace-out`` flag switches on.
     trace: bool = False
     trace_runs: List[TraceRun] = field(default_factory=list)
+    # Fan independent points of one driver invocation across this many
+    # worker processes (the CLI's ``--jobs``).  1 = fully serial; the
+    # results are bit-identical either way.
+    jobs: int = 1
+    # Optional persistent result cache (the CLI's ``--cache-dir`` /
+    # ``--no-cache``); None disables on-disk caching entirely.
+    cache: Optional[ResultCache] = None
     _sequential: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
 
     def app(self, name: str):
@@ -43,18 +68,7 @@ class ExperimentContext:
         return self.app(name).default_params(self.scale)
 
     def sequential(self, name: str) -> RunResult:
-        key = (name, self.scale)
-        cached = self._sequential.get(key)
-        if cached is None:
-            module = self.app(name)
-            cached = run_sequential(
-                module.program(),
-                self.params(name),
-                page_size=self.cluster.page_size,
-                costs=self.costs_for(name),
-            )
-            self._sequential[key] = cached
-        return cached
+        return self.run_batch([BatchPoint(name, None)])[0]
 
     def costs_for(self, name: str) -> CostModel:
         """The cost model for one app, honouring its scaled-cache
@@ -63,8 +77,6 @@ class ExperimentContext:
         overrides = getattr(module, "cost_overrides", None)
         if overrides is None:
             return self.costs
-        from dataclasses import replace
-
         return replace(self.costs, **overrides(self.params(name)))
 
     def run(
@@ -74,22 +86,46 @@ class ExperimentContext:
         nprocs: int,
         **overrides,
     ) -> RunResult:
-        module = self.app(name)
-        run_cfg = RunConfig(
-            variant=variant,
-            nprocs=nprocs,
-            cluster=self.cluster,
-            costs=self.costs_for(name),
-            warm_start=self.warm_start,
-            trace=overrides.pop("trace", self.trace),
-            **overrides,
+        point = BatchPoint(
+            name, variant, nprocs, overrides=tuple(sorted(overrides.items()))
         )
-        result = run_program(module.program(), run_cfg, self.params(name))
-        if run_cfg.trace:
-            self.trace_runs.append(
-                TraceRun.from_result(result, scale=self.scale)
-            )
-        return result
+        return self.run_batch([point])[0]
+
+    def run_batch(self, points: Iterable[BatchPoint]) -> List[RunResult]:
+        """Run every point; results return in point order.
+
+        The single entry point for all experiment execution: memoizes
+        sequential baselines, consults the on-disk result cache, fans
+        cache misses across ``self.jobs`` worker processes, stores fresh
+        results back, and merges traces into ``trace_runs`` in point
+        order.
+        """
+        points = list(points)
+        specs = [self._spec_for(point) for point in points]
+        keys = [self._key_for(spec) for spec in specs]
+
+        results: List[Optional[RunResult]] = [None] * len(points)
+        missing: List[int] = []
+        for i, spec in enumerate(specs):
+            cached = self._lookup(spec, keys[i])
+            if cached is not None:
+                results[i] = cached
+            else:
+                missing.append(i)
+
+        fresh = run_points([specs[i] for i in missing], jobs=self.jobs)
+        for i, result in zip(missing, fresh):
+            results[i] = result
+            self._store(specs[i], keys[i], result)
+
+        for spec, result in zip(specs, results):
+            if spec.is_sequential:
+                self._sequential.setdefault((spec.app, self.scale), result)
+            elif spec.trace:
+                self.trace_runs.append(
+                    TraceRun.from_result(result, scale=self.scale)
+                )
+        return results
 
     def speedup(self, name: str, variant: Variant, nprocs: int, **kw) -> float:
         seq = self.sequential(name)
@@ -99,6 +135,53 @@ class ExperimentContext:
     def max_procs(self, variant: Variant) -> int:
         cfg = RunConfig(variant=variant, nprocs=1, cluster=self.cluster)
         return cfg.compute_cpus_available
+
+    # -- internals -----------------------------------------------------
+
+    def _spec_for(self, point: BatchPoint) -> PointSpec:
+        overrides = dict(point.overrides)
+        trace = overrides.pop("trace", self.trace)
+        return PointSpec(
+            app=point.app,
+            variant_name=(
+                SEQUENTIAL if point.variant is None else point.variant.name
+            ),
+            nprocs=point.nprocs,
+            params=self.params(point.app),
+            cluster=self.cluster,
+            costs=(
+                point.costs if point.costs is not None
+                else self.costs_for(point.app)
+            ),
+            warm_start=self.warm_start,
+            trace=trace,
+            overrides=overrides,
+        )
+
+    def _key_for(self, spec: PointSpec) -> Optional[str]:
+        if self.cache is None:
+            return None
+        if spec.is_sequential:
+            return sequential_key(
+                spec.app, spec.params, spec.cluster.page_size, spec.costs
+            )
+        return run_key(spec.app, spec.params, spec.run_config())
+
+    def _lookup(self, spec: PointSpec, key: Optional[str]):
+        if spec.is_sequential:
+            # Keyed by (app, scale) only: the baseline never touches the
+            # network, so swept cost models share one baseline (contexts
+            # created by the sweep drivers share this dict).
+            memo = self._sequential.get((spec.app, self.scale))
+            if memo is not None:
+                return memo
+        if key is None:
+            return None
+        return self.cache.get(key)
+
+    def _store(self, spec: PointSpec, key: Optional[str], result) -> None:
+        if key is not None:
+            self.cache.put(key, result)
 
 
 def feasible_counts(

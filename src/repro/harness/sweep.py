@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import CSM_POLL, TMK_MC_POLL, CostModel, Variant
-from repro.harness.runner import ExperimentContext
+from repro.harness.runner import BatchPoint, ExperimentContext
 
 
 @dataclass
@@ -27,13 +27,52 @@ class SweepPoint:
     speedup: float
 
 
-def _context_with(base: ExperimentContext, costs: CostModel):
-    return ExperimentContext(
-        scale=base.scale,
-        cluster=base.cluster,
-        costs=costs,
-        warm_start=base.warm_start,
-    )
+def _app_costs(ctx: ExperimentContext, app: str, swept: CostModel) -> CostModel:
+    """Apply the app's scaled-cache overrides on top of swept costs
+    (mirrors ``ExperimentContext.costs_for`` under a swept model)."""
+    overrides = getattr(ctx.app(app), "cost_overrides", None)
+    if overrides is None:
+        return swept
+    return replace(swept, **overrides(ctx.params(app)))
+
+
+def _sweep(
+    ctx: ExperimentContext,
+    app: str,
+    nprocs: int,
+    knob: str,
+    swept_costs: Sequence,
+    variants: Optional[Sequence[Variant]],
+) -> List[SweepPoint]:
+    """Run every (knob value, variant) point in one batch.
+
+    The sequential baseline never touches the network, so it is
+    independent of the swept knobs: one baseline run is shared by every
+    swept point instead of being recomputed per knob value.
+    """
+    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
+    batch = [BatchPoint(app, None)]
+    for _value, costs in swept_costs:
+        batch.extend(
+            BatchPoint(app, variant, nprocs, costs=_app_costs(ctx, app, costs))
+            for variant in variants
+        )
+    results = ctx.run_batch(batch)
+    seq = results[0]
+    points = []
+    cursor = 1
+    for value, _costs in swept_costs:
+        for variant in variants:
+            points.append(
+                SweepPoint(
+                    knob=knob,
+                    value=value,
+                    variant=variant.name,
+                    speedup=results[cursor].speedup_over(seq.exec_time),
+                )
+            )
+            cursor += 1
+    return points
 
 
 def sweep_bandwidth(
@@ -44,29 +83,20 @@ def sweep_bandwidth(
     variants: Optional[Sequence[Variant]] = None,
 ) -> List[SweepPoint]:
     """Scale link and aggregate bandwidth together."""
-    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
-    points = []
-    for multiplier in multipliers:
-        costs = replace(
-            ctx.costs,
-            mc_link_bandwidth=ctx.costs.mc_link_bandwidth * multiplier,
-            mc_aggregate_bandwidth=(
-                ctx.costs.mc_aggregate_bandwidth * multiplier
+    swept = [
+        (
+            multiplier,
+            replace(
+                ctx.costs,
+                mc_link_bandwidth=ctx.costs.mc_link_bandwidth * multiplier,
+                mc_aggregate_bandwidth=(
+                    ctx.costs.mc_aggregate_bandwidth * multiplier
+                ),
             ),
         )
-        swept = _context_with(ctx, costs)
-        for variant in variants:
-            seq = swept.sequential(app)
-            run = swept.run(app, variant, nprocs)
-            points.append(
-                SweepPoint(
-                    knob="bandwidth",
-                    value=multiplier,
-                    variant=variant.name,
-                    speedup=run.speedup_over(seq.exec_time),
-                )
-            )
-    return points
+        for multiplier in multipliers
+    ]
+    return _sweep(ctx, app, nprocs, "bandwidth", swept, variants)
 
 
 def sweep_latency(
@@ -77,23 +107,11 @@ def sweep_latency(
     variants: Optional[Sequence[Variant]] = None,
 ) -> List[SweepPoint]:
     """Vary the Memory Channel remote-write latency."""
-    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
-    points = []
-    for latency in latencies:
-        costs = replace(ctx.costs, mc_latency=latency)
-        swept = _context_with(ctx, costs)
-        for variant in variants:
-            seq = swept.sequential(app)
-            run = swept.run(app, variant, nprocs)
-            points.append(
-                SweepPoint(
-                    knob="latency",
-                    value=latency,
-                    variant=variant.name,
-                    speedup=run.speedup_over(seq.exec_time),
-                )
-            )
-    return points
+    swept = [
+        (latency, replace(ctx.costs, mc_latency=latency))
+        for latency in latencies
+    ]
+    return _sweep(ctx, app, nprocs, "latency", swept, variants)
 
 
 def gains(points: List[SweepPoint]) -> Dict[str, float]:

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.apps import registry
-from repro.harness.runner import ExperimentContext
+from repro.harness.runner import BatchPoint, ExperimentContext
 from repro.memory import AddressSpace
 
 
@@ -32,6 +32,9 @@ def _problem_description(params: dict) -> str:
 
 def generate(ctx: ExperimentContext = None) -> List[Table2Row]:
     ctx = ctx or ExperimentContext()
+    # One independent sequential simulation per app; batch them so
+    # ``--jobs`` and the result cache apply here too.
+    ctx.run_batch([BatchPoint(spec.name, None) for spec in registry.APPS])
     rows = []
     for spec in registry.APPS:
         module = ctx.app(spec.name)

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.config import CSM_POLL, TMK_MC_POLL
 from repro.apps import registry
-from repro.harness.runner import ExperimentContext
+from repro.harness.runner import BatchPoint, ExperimentContext
 
 DEFAULT_PROCS = 32
 BARNES_PROCS = 16  # "performance for Barnes drops significantly past 16"
@@ -47,11 +47,17 @@ def generate(
 ) -> List[Table3Cell]:
     ctx = ctx or ExperimentContext()
     apps = apps or list(registry.APP_NAMES)
+    batch = [
+        BatchPoint(app, variant, nprocs or procs_for(app))
+        for app in apps
+        for variant in (CSM_POLL, TMK_MC_POLL)
+    ]
+    results = iter(ctx.run_batch(batch))
     cells = []
     for app in apps:
         n = nprocs or procs_for(app)
         for variant in (CSM_POLL, TMK_MC_POLL):
-            result = ctx.run(app, variant, n)
+            result = next(results)
             agg = result.stats.aggregate_counters()
             cell = Table3Cell(
                 app=app,

@@ -44,34 +44,32 @@ def make_diff(twin: np.ndarray, current: np.ndarray) -> Diff:
     """Encode the words of ``current`` that differ from ``twin``.
 
     Both arguments are uint8 arrays of the same page-sized, word-aligned
-    length.
+    length.  Run boundaries are found entirely in NumPy: a run starts
+    wherever the gap between consecutive changed-word indices exceeds
+    one, so the Python-level work is one loop over *runs*, not words.
     """
     if twin.shape != current.shape:
         raise ValueError("twin and current page must be the same size")
     if len(twin) % WORD:
         raise ValueError(f"page size must be a multiple of {WORD}")
     changed = twin.view(np.uint64) != current.view(np.uint64)
-    if not changed.any():
-        return Diff(())
     idx = np.flatnonzero(changed)
-    runs: List[Tuple[int, bytes]] = []
-    run_start = idx[0]
-    prev = idx[0]
-    for word in idx[1:]:
-        if word != prev + 1:
-            runs.append(_encode_run(current, run_start, prev))
-            run_start = word
-        prev = word
-    runs.append(_encode_run(current, run_start, prev))
+    if idx.size == 0:
+        return Diff(())
+    breaks = np.flatnonzero(np.diff(idx) != 1)
+    starts = np.empty(breaks.size + 1, idx.dtype)
+    stops = np.empty(breaks.size + 1, idx.dtype)
+    starts[0] = idx[0]
+    starts[1:] = idx[breaks + 1]
+    stops[:-1] = idx[breaks]
+    stops[-1] = idx[-1]
+    starts *= WORD
+    stops = (stops + 1) * WORD
+    runs: List[Tuple[int, bytes]] = [
+        (start, current[start:stop].tobytes())
+        for start, stop in zip(starts.tolist(), stops.tolist())
+    ]
     return Diff(tuple(runs))
-
-
-def _encode_run(
-    current: np.ndarray, first_word: int, last_word: int
-) -> Tuple[int, bytes]:
-    start = int(first_word) * WORD
-    stop = (int(last_word) + 1) * WORD
-    return start, current[start:stop].tobytes()
 
 
 def apply_diff(target: np.ndarray, diff: Diff) -> None:
@@ -97,18 +95,45 @@ def apply_diff_versioned(
     words — for race-free programs, writes to one word are totally
     ordered by synchronization, and the causal tags preserve that order
     (see ``TmkPage.lamport``).
+
+    The runs of one diff never overlap (run-length-encoding invariant),
+    so all runs are merged in a single vectorized pass: one gather of
+    the word versions, one scatter of the winning words per target.
     """
-    for offset, data in diff.runs:
-        if offset + len(data) > len(targets[0]):
+    runs = diff.runs
+    if not runs:
+        return
+    page_len = len(targets[0])
+    for offset, data in runs:
+        if offset + len(data) > page_len:
             raise ValueError("diff run exceeds page bounds")
+    if len(runs) == 1:
+        offset, data = runs[0]
         first = offset // WORD
         n_words = len(data) // WORD
-        tags = word_tags[first : first + n_words]
-        winners = tags < tag
-        if not winners.any():
-            continue
-        tags[winners] = tag
+        word_idx = np.arange(first, first + n_words)
         raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
-        for target in targets:
-            view = target[offset : offset + len(data)].reshape(n_words, WORD)
-            view[winners] = raw[winners]
+    else:
+        word_idx = np.concatenate([
+            np.arange(offset // WORD, (offset + len(data)) // WORD)
+            for offset, data in runs
+        ])
+        raw = np.frombuffer(
+            b"".join(data for _, data in runs), np.uint8
+        ).reshape(-1, WORD)
+    winners = word_tags[word_idx] < tag
+    if not winners.any():
+        return
+    win_idx = word_idx[winners]
+    word_tags[win_idx] = tag
+    win_raw = raw[winners]
+    for target in targets:
+        if len(target) % WORD == 0 and target.flags.c_contiguous:
+            view = target.view()
+            view.shape = (-1, WORD)
+            view[win_idx] = win_raw
+        else:  # odd-sized or strided target: scatter byte-by-byte
+            byte_idx = (
+                win_idx[:, None] * WORD + np.arange(WORD)
+            ).ravel()
+            target[byte_idx] = win_raw.ravel()

@@ -10,6 +10,13 @@ the DSM simulation needs:
   when the generator returns.  Supports :meth:`Process.interrupt`, which
   the cluster model uses to deliver remote requests into a running
   compute block.
+
+The inner loop is deliberately allocation-light: heap entries are plain
+``(when, seq, func, arg)`` tuples (no closures), and callback
+registration hands out *cells* that are cancelled in O(1) by
+tombstoning rather than ``list.remove`` — long-lived events (processor
+mailboxes, contended locks) see one register/cancel pair per wait, and
+the old linear removal made that quadratic over a run.
 """
 
 from __future__ import annotations
@@ -30,14 +37,41 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+#: A registered callback: a one-element list so cancellation is a single
+#: store (``cell[0] = None``) instead of an O(n) list removal.
+Cell = List[Optional[Callable]]
+
+#: Compact an event's callback list only once tombstones both exceed
+#: this count and outnumber the live entries.
+_COMPACT_MIN_DEAD = 8
+
+
+def _succeed(event: "Event") -> None:
+    event.succeed()
+
+
+def _invoke(action: Callable[[], None]) -> None:
+    action()
+
+
+def _fire(event: "Event") -> None:
+    """Deliver a fired event to the callbacks registered at fire time."""
+    cells, event.callbacks = event.callbacks, None
+    for cell in cells:
+        callback = cell[0]
+        if callback is not None:
+            callback(event)
+
+
 class Event:
     """A one-shot event; fires at most once with an optional value."""
 
-    __slots__ = ("engine", "callbacks", "_triggered", "value")
+    __slots__ = ("engine", "callbacks", "_dead", "_triggered", "value")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: Optional[List[Cell]] = []
+        self._dead = 0
         self._triggered = False
         self.value: Any = None
 
@@ -45,13 +79,42 @@ class Event:
     def triggered(self) -> bool:
         return self._triggered
 
+    def add_callback(self, callback: Callable[["Event"], None]) -> Cell:
+        """Register ``callback`` for the fire; returns its cancel cell."""
+        cell: Cell = [callback]
+        self.callbacks.append(cell)
+        return cell
+
+    def cancel_callback(self, cell: Cell) -> None:
+        """Cancel a registration in O(1) by tombstoning its cell."""
+        if cell[0] is None:
+            return
+        cell[0] = None
+        callbacks = self.callbacks
+        if callbacks is None:
+            return  # already fired; the tombstone alone suffices
+        self._dead += 1
+        if (
+            self._dead > _COMPACT_MIN_DEAD
+            and self._dead * 2 > len(callbacks)
+        ):
+            self.callbacks = [c for c in callbacks if c[0] is not None]
+            self._dead = 0
+
+    def live_callbacks(self) -> List[Callable]:
+        """The still-registered callbacks (testing/introspection)."""
+        return [c[0] for c in (self.callbacks or ()) if c[0] is not None]
+
     def succeed(self, value: Any = None) -> "Event":
         """Fire the event now; waiters resume at the current sim time."""
         if self._triggered:
             raise RuntimeError("event already triggered")
         self._triggered = True
         self.value = value
-        self.engine._schedule_callbacks(self)
+        if self.callbacks:
+            self.engine._push(self.engine.now, _fire, self)
+        else:
+            self.callbacks = None
         return self
 
 
@@ -65,25 +128,24 @@ class Timeout(Event):
             raise ValueError(f"negative delay {delay!r}")
         super().__init__(engine)
         self.delay = delay
-        engine._schedule_at(engine.now + delay, self)
+        engine._push(engine.now + delay, _succeed, self)
 
 
 class AnyOf(Event):
     """Fires when the first of ``events`` fires; value is that event."""
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "_cells")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine)
         self.events = list(events)
         if not self.events:
             raise ValueError("AnyOf needs at least one event")
-        fired = next((e for e in self.events if e.triggered), None)
+        fired = next((e for e in self.events if e._triggered), None)
         if fired is not None:
             self.succeed(fired)
             return
-        for event in self.events:
-            event.callbacks.append(self._child_fired)
+        self._cells = [e.add_callback(self._child_fired) for e in self.events]
 
     def _child_fired(self, event: Event) -> None:
         if self._triggered:
@@ -91,9 +153,9 @@ class AnyOf(Event):
         # Detach from the children that did not fire; long-lived events
         # (processor mailboxes, lock grants) would otherwise accumulate
         # one dead callback per wait.
-        for child in self.events:
+        for child, cell in zip(self.events, self._cells):
             if child is not event:
-                _remove_callback(child, self._child_fired)
+                child.cancel_callback(cell)
         self.succeed(event)
 
 
@@ -105,6 +167,7 @@ class Process(Event):
         "name",
         "daemon",
         "_waiting_on",
+        "_wait_cell",
         "_interrupt_pending",
     )
 
@@ -120,8 +183,9 @@ class Process(Event):
         self.name = name
         self.daemon = daemon
         self._waiting_on: Optional[Event] = None
+        self._wait_cell: Optional[Cell] = None
         self._interrupt_pending: Optional[Interrupt] = None
-        engine._schedule_now(self._start)
+        engine._push(engine.now, Process._start, self)
 
     @property
     def is_alive(self) -> bool:
@@ -134,12 +198,12 @@ class Process(Event):
         if self._interrupt_pending is not None:
             return  # coalesce; one wakeup is enough
         self._interrupt_pending = Interrupt(cause)
-        self.engine._schedule_now(self._deliver_interrupt)
+        self.engine._push(self.engine.now, Process._deliver_interrupt, self)
 
     # -- internals ----------------------------------------------------
 
     def _start(self) -> None:
-        self._step(lambda: self.generator.send(None))
+        self._step_send(None)
 
     def _deliver_interrupt(self) -> None:
         interrupt = self._interrupt_pending
@@ -149,44 +213,45 @@ class Process(Event):
         waited = self._waiting_on
         self._waiting_on = None
         if waited is not None:
-            _remove_callback(waited, self._resume)
-        self._step(lambda: self.generator.throw(interrupt))
+            waited.cancel_callback(self._wait_cell)
+        try:
+            target = self.generator.throw(interrupt)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_for(target)
 
     def _resume(self, event: Event) -> None:
         if self._waiting_on is not event:
             return  # stale wakeup (we were interrupted away from it)
         self._waiting_on = None
-        self._step(lambda: self.generator.send(event.value))
+        self._step_send(event.value)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step_send(self, value: Any) -> None:
         try:
-            target = advance()
+            target = self.generator.send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
         if not isinstance(target, Event):
             raise TypeError(
                 f"process {self.name!r} yielded {target!r}; "
                 "processes must yield Event instances"
             )
-        if target.triggered:
-            self.engine._schedule_now(lambda: self._resume_immediate(target))
+        if target._triggered:
+            self.engine._push(self.engine.now, self._resume_immediate, target)
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            self._wait_cell = target.add_callback(self._resume)
 
     def _resume_immediate(self, event: Event) -> None:
         if self._triggered:
             return
         self._waiting_on = None
-        self._step(lambda: self.generator.send(event.value))
-
-
-def _remove_callback(event: Event, callback: Callable) -> None:
-    try:
-        event.callbacks.remove(callback)
-    except ValueError:
-        pass
+        self._step_send(event.value)
 
 
 class Engine:
@@ -214,7 +279,7 @@ class Engine:
         """Run ``action`` at absolute sim time ``when``."""
         if when < self.now:
             raise ValueError("cannot schedule in the past")
-        self._push(when, action)
+        self._push(when, _invoke, action)
 
     def event(self) -> Event:
         return Event(self)
@@ -229,16 +294,18 @@ class Engine:
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until no work remains (or ``until`` sim time); return now."""
-        while self._heap:
-            when, _seq, action = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            _when, _seq, func, arg = pop(heap)
             if when < self.now:
                 raise RuntimeError("event scheduled in the past")
             self.now = when
-            action()
+            func(arg)
         stuck = [
             p.name for p in self._processes if p.is_alive and not p.daemon
         ]
@@ -250,21 +317,6 @@ class Engine:
 
     # -- internals -----------------------------------------------------
 
-    def _schedule_at(self, when: float, event: Event) -> None:
-        self._push(when, lambda: event.succeed())
-
-    def _schedule_now(self, action: Callable[[], None]) -> None:
-        self._push(self.now, action)
-
-    def _schedule_callbacks(self, event: Event) -> None:
-        callbacks, event.callbacks = event.callbacks, []
-
-        def fire() -> None:
-            for callback in callbacks:
-                callback(event)
-
-        self._push(self.now, fire)
-
-    def _push(self, when: float, action: Callable[[], None]) -> None:
+    def _push(self, when: float, func: Callable[[Any], None], arg: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, action))
+        heapq.heappush(self._heap, (when, self._seq, func, arg))

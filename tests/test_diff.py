@@ -154,6 +154,116 @@ def test_versioned_apply_updates_twin_too():
     assert twin.view(np.float64)[0] == 7.0
 
 
+# --- vectorized paths vs. straightforward references ----------------------
+#
+# ``make_diff`` and ``apply_diff_versioned`` are vectorized (run-boundary
+# detection via np.diff, single-gather/scatter versioned merge).  These
+# references re-implement the original word-by-word / run-by-run logic;
+# the property tests require exact agreement on randomized pages.
+
+
+def _make_diff_reference(twin, current):
+    changed = twin.view(np.uint64) != current.view(np.uint64)
+    idx = np.flatnonzero(changed)
+    if idx.size == 0:
+        return Diff(())
+    runs = []
+    run_start = prev = idx[0]
+    for word in idx[1:]:
+        if word != prev + 1:
+            start = int(run_start) * WORD
+            runs.append((start, current[start:(int(prev) + 1) * WORD].tobytes()))
+            run_start = word
+        prev = word
+    start = int(run_start) * WORD
+    runs.append((start, current[start:(int(prev) + 1) * WORD].tobytes()))
+    return Diff(tuple(runs))
+
+
+def _apply_versioned_reference(targets, diff, word_tags, tag):
+    for offset, data in diff.runs:
+        if offset + len(data) > len(targets[0]):
+            raise ValueError("diff run exceeds page bounds")
+        first = offset // WORD
+        n_words = len(data) // WORD
+        tags = word_tags[first : first + n_words]
+        winners = tags < tag
+        if not winners.any():
+            continue
+        tags[winners] = tag
+        raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
+        for target in targets:
+            view = target[offset : offset + len(data)].reshape(n_words, WORD)
+            view[winners] = raw[winners]
+
+
+def _random_page(data, n_words):
+    raw = data.draw(
+        st.binary(min_size=n_words * WORD, max_size=n_words * WORD)
+    )
+    return np.frombuffer(raw, np.uint8).copy()
+
+
+@settings(max_examples=200)
+@given(st.data())
+def test_make_diff_matches_reference_property(data):
+    n_words = data.draw(st.integers(1, 64))
+    twin = _random_page(data, n_words)
+    current = twin.copy()
+    # Flip a random subset of words so runs of every shape appear.
+    for idx in data.draw(
+        st.lists(st.integers(0, n_words - 1), max_size=n_words)
+    ):
+        current[idx * WORD : (idx + 1) * WORD] ^= data.draw(
+            st.integers(1, 255)
+        )
+    fast = make_diff(twin, current)
+    slow = _make_diff_reference(twin, current)
+    assert fast.runs == slow.runs
+    assert fast.encoded_size == slow.encoded_size
+
+
+@settings(max_examples=200)
+@given(st.data())
+def test_versioned_apply_matches_reference_property(data):
+    n_words = data.draw(st.integers(1, 32))
+    base = _random_page(data, n_words)
+    n_diffs = data.draw(st.integers(1, 4))
+    diffs = []
+    for _ in range(n_diffs):
+        current = base.copy()
+        for idx in data.draw(
+            st.lists(st.integers(0, n_words - 1), max_size=n_words)
+        ):
+            current[idx * WORD : (idx + 1) * WORD] ^= data.draw(
+                st.integers(1, 255)
+            )
+        diffs.append(
+            (data.draw(st.integers(0, 6)), make_diff(base, current))
+        )
+
+    fast_copy, fast_twin = base.copy(), base.copy()
+    fast_tags = np.zeros(n_words, np.int64)
+    slow_copy, slow_twin = base.copy(), base.copy()
+    slow_tags = np.zeros(n_words, np.int64)
+    for tag, diff in diffs:
+        apply_diff_versioned([fast_copy, fast_twin], diff, fast_tags, tag)
+        _apply_versioned_reference(
+            [slow_copy, slow_twin], diff, slow_tags, tag
+        )
+    assert np.array_equal(fast_copy, slow_copy)
+    assert np.array_equal(fast_twin, slow_twin)
+    assert np.array_equal(fast_tags, slow_tags)
+
+
+def test_versioned_apply_out_of_bounds_rejected():
+    diff = Diff(((8, b"x" * 16),))
+    with pytest.raises(ValueError):
+        apply_diff_versioned(
+            [np.zeros(16, np.uint8)], diff, np.zeros(2, np.int64), tag=1
+        )
+
+
 @settings(max_examples=100)
 @given(st.data())
 def test_versioned_apply_order_independence_property(data):

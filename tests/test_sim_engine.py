@@ -321,7 +321,9 @@ def test_anyof_detaches_callbacks_from_losers(engine):
 
     engine.process(waiter())
     engine.run()
-    assert len(long_lived.callbacks) <= 1
+    assert len(long_lived.live_callbacks()) <= 1
+    # Tombstoned cells are compacted away, not accumulated forever.
+    assert len(long_lived.callbacks) <= 16
 
 
 def test_anyof_winner_callbacks_cleared(engine):
@@ -335,4 +337,50 @@ def test_anyof_winner_callbacks_cleared(engine):
 
     engine.process(waiter())
     engine.run()
-    assert len(slow.callbacks) == 0
+    assert slow.live_callbacks() == []
+
+
+def test_cancel_callback_is_constant_time_tombstone(engine):
+    event = engine.event()
+    seen = []
+    cells = [event.add_callback(lambda e, i=i: seen.append(i))
+             for i in range(4)]
+    event.cancel_callback(cells[1])
+    event.cancel_callback(cells[1])  # double-cancel is a no-op
+    event.succeed()
+    engine.run()
+    assert seen == [0, 2, 3]
+
+
+def test_cancel_after_fire_is_harmless(engine):
+    event = engine.event()
+    cell = event.add_callback(lambda e: None)
+    event.succeed()
+    engine.run()
+    event.cancel_callback(cell)  # fired events accept late cancels
+
+
+def test_interrupt_then_fire_at_same_instant_skips_resume(engine):
+    # A process interrupted away from an event that fires at the same
+    # simulated instant (after the interrupt was posted) must take the
+    # interrupt; the tombstoned resume callback is skipped at delivery.
+    log = []
+    event = engine.event()
+
+    def victim():
+        try:
+            yield event
+            log.append("event")
+        except Interrupt:
+            log.append("interrupt")
+
+    p = engine.process(victim())
+
+    def attacker():
+        yield engine.timeout(1.0)
+        p.interrupt()
+        event.succeed()
+
+    engine.process(attacker())
+    engine.run()
+    assert log == ["interrupt"]
