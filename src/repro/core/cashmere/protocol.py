@@ -29,6 +29,7 @@ from repro.cluster.network import MemoryChannel
 from repro.cluster.cache import CacheModel
 from repro.core.base import DsmProtocol
 from repro.core.cashmere.directory import Directory, DirectoryEntry
+from repro.core.fastpath import PermBitmaps
 from repro.core.cashmere.lists import NoticeList
 from repro.core.cashmere.sync import SyncTable
 from repro.memory.address_space import AddressSpace
@@ -88,6 +89,7 @@ class CashmereProtocol(DsmProtocol):
             p.pid: {} for p in cluster.procs
         }
         self.master: Dict[int, np.ndarray] = {}
+        self.perms = PermBitmaps(cluster.nprocs, space.n_pages)
         self._next_home_rr = 0  # used when first-touch homing is disabled
 
     # ------------------------------------------------------------------
@@ -112,6 +114,52 @@ class CashmereProtocol(DsmProtocol):
     def _is_home(self, proc: Processor, entry: DirectoryEntry) -> bool:
         return entry.home_node == proc.node.nid
 
+    # -- hit path --------------------------------------------------------
+    #
+    # Specialized over the base implementation: the bitmap has already
+    # vouched for read permission, so a hot read goes straight to the
+    # page-table entry (home processors read the master copy they alias).
+    # There is no ``fast_write``: every Cashmere shared write runs the
+    # doubled-write sequence even when no fault is taken.
+
+    def fast_read(self, proc, space, offset, nbytes):
+        if nbytes == 0:
+            return np.empty(0, np.uint8)
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.r_rows[pid][lo]:
+                return None
+            data = self.entries[pid][lo].copy
+            if data is None:
+                data = self._master_page(lo)
+            return data[start : start + nbytes].copy()
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.r_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return None
+        table = self.entries[pid]
+        out = np.empty(nbytes, np.uint8)
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            data = table[page].copy
+            if data is None:
+                data = self._master_page(page)
+            out[pos : pos + length] = data[start : start + length]
+            pos += length
+            addr += length
+        return out
+
     # ------------------------------------------------------------------
     # directory cost helpers
     # ------------------------------------------------------------------
@@ -134,7 +182,7 @@ class CashmereProtocol(DsmProtocol):
         self.trace(proc, "read_fault", page=page)
         yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
         yield from self._validate_page(proc, page, entry)
-        entry.perm = Protection.READ
+        self._set_perm(proc.pid, page, entry, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def ensure_write(self, proc: Processor, page: int) -> Generator:
@@ -156,7 +204,7 @@ class CashmereProtocol(DsmProtocol):
                 yield from self._dir_update(proc)
         elif dir_entry.exclusive_holder != proc.pid:
             state.dirty.append(page)
-        entry.perm = Protection.READ_WRITE
+        self._set_perm(proc.pid, page, entry, Protection.READ_WRITE)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def _validate_page(
@@ -332,7 +380,7 @@ class CashmereProtocol(DsmProtocol):
                 proc.bump("write_notices_sent")
                 self.trace(proc, "write_notice", page=page, to=other)
         if entry.perm is Protection.READ_WRITE:
-            entry.perm = Protection.READ
+            self._set_perm(proc.pid, page, entry, Protection.READ)
             yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def _process_acquire(self, proc: Processor) -> Generator:
@@ -349,7 +397,7 @@ class CashmereProtocol(DsmProtocol):
                     continue
                 dir_entry.sharers.discard(proc.pid)
                 yield from self._dir_update(proc)
-                entry.perm = Protection.NONE
+                self._set_perm(proc.pid, page, entry, Protection.NONE)
                 yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
             return
         for page in list(state.write_notices.drain()):
@@ -358,7 +406,7 @@ class CashmereProtocol(DsmProtocol):
             yield from self._dir_update(proc)
             entry = self._entry(proc.pid, page)
             if entry.perm is not Protection.NONE:
-                entry.perm = Protection.NONE
+                self._set_perm(proc.pid, page, entry, Protection.NONE)
                 self.trace(proc, "invalidate", page=page)
                 yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
@@ -427,8 +475,14 @@ class CashmereProtocol(DsmProtocol):
     # invariants
     # ------------------------------------------------------------------
 
+    def _perm_entries(self, pid: int):
+        return (
+            (page, entry.perm) for page, entry in self.entries[pid].items()
+        )
+
     def check_invariants(self) -> None:
         self.directory.check()
+        self.check_perm_bitmaps()
         for pid, table in self.entries.items():
             for page, entry in table.items():
                 dir_entry = self.directory.entry(page)

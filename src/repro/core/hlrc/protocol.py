@@ -69,6 +69,11 @@ class ProcState(LrcProcState):
 class HlrcProtocol(LrcProtocolBase):
     """LRC invalidation with eager diffs to per-page homes."""
 
+    # Writes touch the local copy only (diffs move eagerly at release,
+    # not per write), so hot write spans qualify for the zero-cost
+    # scatter path.
+    free_writes = True
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         # The authoritative home copies (the home processor's ``copy``
@@ -136,7 +141,7 @@ class HlrcProtocol(LrcProtocolBase):
         yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
         yield from self._assign_home(proc, page_idx)
         yield from self._validate_page(proc, page_idx, page)
-        page.perm = Protection.READ
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
@@ -161,7 +166,7 @@ class HlrcProtocol(LrcProtocolBase):
                 self.costs.twin_cost(self.space.page_size), Category.PROTOCOL
             )
         state.notices.add(page_idx)
-        page.perm = Protection.READ_WRITE
+        self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:
@@ -247,7 +252,7 @@ class HlrcProtocol(LrcProtocolBase):
                 # but it must still re-protect, so that next interval's
                 # writes fault and raise fresh notices.
                 if page.perm is Protection.READ_WRITE:
-                    page.perm = Protection.READ
+                    self._set_perm(proc.pid, page_idx, page, Protection.READ)
                     yield from proc.busy(
                         self.costs.mprotect, Category.PROTOCOL
                     )
@@ -268,7 +273,7 @@ class HlrcProtocol(LrcProtocolBase):
             # Re-protect so the next interval's writes re-twin and raise
             # fresh notices.
             if page.perm is Protection.READ_WRITE:
-                page.perm = Protection.READ
+                self._set_perm(proc.pid, page_idx, page, Protection.READ)
                 yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
             request = yield from self.messenger.post_request(
                 proc,
@@ -302,7 +307,7 @@ class HlrcProtocol(LrcProtocolBase):
         page = state.pages.get(page_idx)
         if page is None or page.perm is Protection.NONE:
             return
-        page.perm = Protection.NONE
+        self._set_perm(proc.pid, page_idx, page, Protection.NONE)
         self.trace(proc, "invalidate", page=page_idx)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
@@ -375,11 +380,11 @@ class HlrcProtocol(LrcProtocolBase):
         Homes stay unassigned: the first post-warm *fault* (normally the
         first write) picks the home, which makes first-touch placement
         follow the writers."""
-        for state in self.procs.values():
+        for pid, state in self.procs.items():
             for page_idx in range(self.space.n_pages):
                 page = state.page(page_idx)
                 page.copy = self.space.backing_page(page_idx).copy()
-                page.perm = Protection.READ
+                self._set_perm(pid, page_idx, page, Protection.READ)
 
     # ------------------------------------------------------------------
     # invariants

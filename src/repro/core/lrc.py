@@ -14,12 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.config import RunConfig
 from repro.cluster.machine import Cluster, Processor
 from repro.cluster.messaging import Messenger, Request
 from repro.cluster.network import MemoryChannel
 from repro.cluster.cache import CacheModel
 from repro.core.base import DsmProtocol
+from repro.core.fastpath import PermBitmaps
 from repro.core.intervals import (
     IntervalRecord,
     IntervalStore,
@@ -117,6 +120,7 @@ class LrcProtocolBase(DsmProtocol):
         self.costs = run_cfg.costs
         self.cache = CacheModel(self.costs)
         self.nprocs = cluster.nprocs
+        self.perms = PermBitmaps(cluster.nprocs, space.n_pages)
         self.procs = {
             p.pid: self._make_proc_state() for p in cluster.procs
         }
@@ -135,6 +139,88 @@ class LrcProtocolBase(DsmProtocol):
 
     def _state(self, proc: Processor):
         return self.procs[proc.pid]
+
+    # -- hit path --------------------------------------------------------
+    #
+    # Specialized over the base implementations: a hot access goes
+    # straight to the per-processor page dict (two dict lookups and a
+    # slice) instead of through the ``page_data`` permission-checking
+    # chain — the bitmap has already vouched for the permissions.  Both
+    # LRC protocols write only the local copy on a hot write (diffs move
+    # at release), hence ``free_writes``.
+
+    free_writes = True
+
+    def fast_read(self, proc, space, offset, nbytes):
+        if nbytes == 0:
+            return np.empty(0, np.uint8)
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.r_rows[pid][lo]:
+                return None
+            return self.procs[pid].pages[lo].copy[
+                start : start + nbytes
+            ].copy()
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.r_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return None
+        pages = self.procs[pid].pages
+        out = np.empty(nbytes, np.uint8)
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            out[pos : pos + length] = pages[page].copy[
+                start : start + length
+            ]
+            pos += length
+            addr += length
+        return out
+
+    def fast_write(self, proc, space, offset, raw):
+        nbytes = raw.nbytes
+        if nbytes == 0:
+            return True
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.w_rows[pid][lo]:
+                return False
+            self.procs[pid].pages[lo].copy[start : start + nbytes] = raw
+            return True
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.w_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return False
+        pages = self.procs[pid].pages
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            pages[page].copy[start : start + length] = raw[
+                pos : pos + length
+            ]
+            pos += length
+            addr += length
+        return True
 
     def _lock_manager(self, lock_id: int) -> int:
         return lock_id % self.nprocs
@@ -489,7 +575,14 @@ class LrcProtocolBase(DsmProtocol):
 
     # -- invariants -----------------------------------------------------------------
 
+    def _perm_entries(self, pid: int):
+        pages = getattr(self.procs[pid], "pages", None)
+        if pages is None:
+            return ()
+        return ((page_idx, page.perm) for page_idx, page in pages.items())
+
     def check_invariants(self) -> None:
+        self.check_perm_bitmaps()
         for pid, state in self.procs.items():
             for other in range(self.nprocs):
                 latest = state.store.latest(other)

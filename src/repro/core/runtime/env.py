@@ -11,6 +11,7 @@ from typing import Generator, Optional
 
 from repro.config import WorkingSet
 from repro.cluster.machine import Processor
+from repro.core import fastpath
 from repro.core.base import DsmProtocol
 from repro.stats import Category
 
@@ -89,6 +90,11 @@ class Env:
         self.protocol.trace(
             self.proc, "barrier", dur=self.now - t0, barrier=barrier_id
         )
+        if fastpath.DEBUG:
+            # REPRO_DSM_DEBUG=1: re-verify bitmap/perm coherence at
+            # every synchronization point, so a drifting permission
+            # transition is caught right after it happens.
+            self.protocol.check_perm_bitmaps()
 
     def lock_acquire(self, lock_id: int) -> Generator:
         self.proc.bump("locks")

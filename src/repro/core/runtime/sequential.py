@@ -25,6 +25,7 @@ class SequentialProtocol(DsmProtocol):
     """Free memory access for a single processor."""
 
     counts_polling = False
+    free_writes = True  # unlinked writes go straight to the backing store
 
     def __init__(self, space: AddressSpace, costs=None):
         from repro.cluster.cache import CacheModel
@@ -46,6 +47,16 @@ class SequentialProtocol(DsmProtocol):
 
     def ensure_write(self, proc, page: int) -> Generator:
         return _noop()
+
+    # Every page is always mapped read/write: the fast span paths go
+    # straight to the backing store, with no bitmaps and no faults.
+
+    def fast_read(self, proc, space, offset: int, nbytes: int) -> np.ndarray:
+        return space.read_backing(offset, nbytes)
+
+    def fast_write(self, proc, space, offset: int, raw) -> bool:
+        space.write_backing(offset, raw)
+        return True
 
     def page_data(self, proc, page: int) -> np.ndarray:
         return self.space.backing_page(page)

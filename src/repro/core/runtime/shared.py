@@ -1,9 +1,18 @@
 """Typed views over the shared address space.
 
 A :class:`SharedArray` is how application code touches shared memory.
-Block reads and writes walk the overlapped pages and take exactly the
-read/write faults a hardware MMU would deliver, then move real bytes
-through the protocol's page copies.
+Block reads and writes take exactly the read/write faults a hardware
+MMU would deliver, then move real bytes through the protocol's page
+copies.
+
+Accesses whose pages are all already mapped — the overwhelmingly common
+case, and one that costs *nothing* on the paper's hardware — are
+resolved by one vectorized permission-bitmap check and a direct
+gather/scatter, entering no protocol generator at all.  Cold spans fall
+into the protocol's ``ensure_read_span`` / ``ensure_write_span`` batch
+fault loops, which preserve per-page event order, counters, and traces
+exactly.  ``REPRO_DSM_NO_FASTPATH=1`` restores the original per-page
+generator loop; simulated results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ from typing import Generator, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import fastpath
 from repro.memory.address_space import SharedRegion
 
 Index = Union[int, Tuple[int, ...]]
@@ -61,14 +71,21 @@ class SharedArray:
     # -- index math ----------------------------------------------------------
 
     def _flatten(self, index: Index) -> int:
+        shape = self.shape
+        if type(index) is tuple and len(index) == 2 and len(shape) == 2:
+            i, j = index
+            d0, d1 = shape
+            if 0 <= i < d0 and 0 <= j < d1:
+                return i * d1 + j
+            raise IndexError(f"index {index} out of bounds {shape}")
         if isinstance(index, int):
             index = (index,)
-        if len(index) != len(self.shape):
-            raise IndexError(f"index {index} does not match {self.shape}")
+        if len(index) != len(shape):
+            raise IndexError(f"index {index} does not match {shape}")
         flat = 0
-        for i, (idx, dim) in enumerate(zip(index, self.shape)):
+        for i, (idx, dim) in enumerate(zip(index, shape)):
             if not (0 <= idx < dim):
-                raise IndexError(f"index {index} out of bounds {self.shape}")
+                raise IndexError(f"index {index} out of bounds {shape}")
             flat = flat * dim + idx
         return flat
 
@@ -96,32 +113,100 @@ class SharedArray:
         return self.region.space.pages_in(offset, nbytes)
 
     # -- element range access ------------------------------------------------
+    #
+    # ``try_read`` / ``try_write`` are the plain-function hit path: when
+    # every spanned page is already mapped they move the bytes and
+    # return without a single generator frame being created.  The
+    # ``read_range`` / ``write_range`` generators remain the complete
+    # interface — they attempt the same hit path first, then fault the
+    # cold pages through the protocol's span entry points.
+
+    def try_read(self, env, start_elem: int, count: int):
+        """Hit-path read: the elements if every page is hot, else None."""
+        if not fastpath.ENABLED:
+            return None
+        if start_elem < 0 or count < 0 or start_elem + count > self.size:
+            self._byte_range(start_elem, count)  # raises IndexError
+        item = self.dtype.itemsize
+        data = env.protocol.fast_read(
+            env.proc,
+            self.region.space,
+            self.region.offset + start_elem * item,
+            count * item,
+        )
+        if data is None:
+            return None
+        return data.view(self.dtype)
+
+    def try_write(self, env, start_elem: int, raw) -> bool:
+        """Hit-path write of raw bytes; False if any page is cold.
+
+        Gated on ``free_writes``: when every shared write carries
+        simulated cost (Cashmere's doubling) the scatter can never
+        apply, so don't pay for the attempt.
+        """
+        protocol = env.protocol
+        if not fastpath.ENABLED or not protocol.free_writes:
+            return False
+        item = self.dtype.itemsize
+        count = raw.nbytes // item
+        if start_elem < 0 or start_elem + count > self.size:
+            self._byte_range(start_elem, count)  # raises IndexError
+        return protocol.fast_write(
+            env.proc,
+            self.region.space,
+            self.region.offset + start_elem * item,
+            raw,
+        )
+
+    def _raw_bytes(self, values) -> np.ndarray:
+        return np.ascontiguousarray(values, self.dtype).view(
+            np.uint8
+        ).reshape(-1)
 
     def read_range(self, env, start_elem: int, count: int) -> Generator:
         """Read ``count`` elements starting at flat ``start_elem``."""
+        data = self.try_read(env, start_elem, count)
+        if data is not None:  # every page hot: zero-cost gather
+            return data
         offset, nbytes = self._byte_range(start_elem, count)
+        space = self.region.space
+        protocol = env.protocol
+        if fastpath.ENABLED:
+            lo, hi = space.span_bounds(offset, nbytes)
+            yield from protocol.ensure_read_span(env.proc, lo, hi)
+            data = protocol.fast_read(env.proc, space, offset, nbytes)
+            if data is not None:
+                return data.view(self.dtype)
+            # No bitmaps on this protocol: fall through to the loop.
         out = np.empty(nbytes, np.uint8)
         pos = 0
-        space = self.region.space
         for page, start, length in space.page_spans(offset, nbytes):
-            yield from env.protocol.ensure_read(env.proc, page)
-            data = env.protocol.page_data(env.proc, page)
+            yield from protocol.ensure_read(env.proc, page)
+            data = protocol.page_data(env.proc, page)
             out[pos : pos + length] = data[start : start + length]
             pos += length
         return out.view(self.dtype)
 
     def write_range(self, env, start_elem: int, values) -> Generator:
         """Write ``values`` starting at flat ``start_elem``."""
-        raw = np.ascontiguousarray(values, self.dtype).view(np.uint8)
-        raw = raw.reshape(-1)
+        raw = self._raw_bytes(values)
+        if self.try_write(env, start_elem, raw):
+            return  # every page hot and writes are free: done
         offset, nbytes = self._byte_range(
             start_elem, raw.nbytes // self.dtype.itemsize
         )
-        pos = 0
         space = self.region.space
+        protocol = env.protocol
+        if fastpath.ENABLED:
+            yield from protocol.ensure_write_span(
+                env.proc, space.page_spans_list(offset, nbytes), raw
+            )
+            return
+        pos = 0
         for page, start, length in space.page_spans(offset, nbytes):
-            yield from env.protocol.ensure_write(env.proc, page)
-            yield from env.protocol.apply_write(
+            yield from protocol.ensure_write(env.proc, page)
+            yield from protocol.apply_write(
                 env.proc, page, start, raw[pos : pos + length]
             )
             pos += length
@@ -130,18 +215,26 @@ class SharedArray:
 
     def get(self, env, index: Index) -> Generator:
         """Read a single element."""
-        values = yield from self.read_range(env, self._flatten(index), 1)
+        flat = self._flatten(index)
+        values = self.try_read(env, flat, 1)
+        if values is None:
+            values = yield from self.read_range(env, flat, 1)
         return values[0]
 
     def put(self, env, index: Index, value) -> Generator:
         """Write a single element."""
-        yield from self.write_range(env, self._flatten(index), [value])
+        flat = self._flatten(index)
+        raw = self._raw_bytes([value])
+        if not self.try_write(env, flat, raw):
+            yield from self.write_range(env, flat, raw.view(self.dtype))
 
     def read_rows(self, env, row0: int, row1: int) -> Generator:
         """Read rows ``[row0, row1)`` of the leading dimension."""
         start, stride = self.row_elems(row0)
         count = (row1 - row0) * stride
-        flat = yield from self.read_range(env, start, count)
+        flat = self.try_read(env, start, count)
+        if flat is None:
+            flat = yield from self.read_range(env, start, count)
         return flat.reshape((row1 - row0,) + self.shape[1:])
 
     def write_rows(self, env, row0: int, values) -> Generator:
@@ -153,8 +246,12 @@ class SharedArray:
                 f"row block shape {arr.shape} does not match {self.shape}"
             )
         start, _ = self.row_elems(row0)
-        yield from self.write_range(env, start, arr.reshape(-1))
+        raw = self._raw_bytes(arr)
+        if not self.try_write(env, start, raw):
+            yield from self.write_range(env, start, raw.view(self.dtype))
 
     def read_all(self, env) -> Generator:
-        flat = yield from self.read_range(env, 0, self.size)
+        flat = self.try_read(env, 0, self.size)
+        if flat is None:
+            flat = yield from self.read_range(env, 0, self.size)
         return flat.reshape(self.shape)

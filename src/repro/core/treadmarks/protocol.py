@@ -111,6 +111,11 @@ class ProcState(LrcProcState):
 class TreadMarksProtocol(LrcProtocolBase):
     """Lazy release consistency over fast user-level messages."""
 
+    # A write to a writable page touches the local copy only (diffs are
+    # collected lazily), so hot write spans qualify for the zero-cost
+    # scatter path.
+    free_writes = True
+
     @property
     def gc_record_threshold(self) -> int:
         return GC_RECORD_THRESHOLD
@@ -137,7 +142,7 @@ class TreadMarksProtocol(LrcProtocolBase):
         self.trace(proc, "read_fault", page=page_idx)
         yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
         yield from self._validate_page(proc, page_idx, page)
-        page.perm = Protection.READ
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
@@ -158,7 +163,7 @@ class TreadMarksProtocol(LrcProtocolBase):
                 self.costs.twin_cost(self.space.page_size), Category.PROTOCOL
             )
         state.notices.add(page_idx)
-        page.perm = Protection.READ_WRITE
+        self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:
@@ -291,7 +296,7 @@ class TreadMarksProtocol(LrcProtocolBase):
         page = state.page(page_idx)
         page.pending.append((writer, iid))
         if page.perm is not Protection.NONE:
-            page.perm = Protection.NONE
+            self._set_perm(proc.pid, page_idx, page, Protection.NONE)
             self.trace(proc, "invalidate", page=page_idx)
             yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
@@ -359,7 +364,7 @@ class TreadMarksProtocol(LrcProtocolBase):
                     bytes=diff.dirty_bytes,
                 )
                 if page.perm is Protection.READ_WRITE:
-                    page.perm = Protection.READ
+                    self._set_perm(proc.pid, page_idx, page, Protection.READ)
                     yield from proc.busy(
                         self.costs.mprotect, Category.PROTOCOL
                     )
@@ -420,11 +425,11 @@ class TreadMarksProtocol(LrcProtocolBase):
         """Give every processor a valid copy of every page, modelling a
         long-running execution whose cold distribution has already been
         amortized."""
-        for state in self.procs.values():
+        for pid, state in self.procs.items():
             for page_idx in range(self.space.n_pages):
                 page = state.page(page_idx)
                 page.copy = self.space.backing_page(page_idx).copy()
-                page.perm = Protection.READ
+                self._set_perm(pid, page_idx, page, Protection.READ)
 
     # ------------------------------------------------------------------
     # invariants

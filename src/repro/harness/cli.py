@@ -94,6 +94,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="recompute every point and overwrite any cached results",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help=(
+            "profile this invocation with cProfile and dump the stats "
+            "to FILE (inspect with 'python -m pstats FILE'); use "
+            "--jobs 1, worker processes are not profiled"
+        ),
+    )
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
@@ -293,6 +303,26 @@ def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(
+                f"[profile: wrote {args.profile}; inspect with "
+                f"'python -m pstats {args.profile}' (try "
+                f"'sort cumtime' then 'stats 25')]",
+                file=sys.stderr,
+            )
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     ctx = _context(args)
     started = time.time()
     if args.command == "table1":

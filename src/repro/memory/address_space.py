@@ -117,6 +117,41 @@ class AddressSpace:
     def pages_in(self, offset: int, nbytes: int) -> List[int]:
         return [page for page, _, _ in self.page_spans(offset, nbytes)]
 
+    def span_bounds(self, offset: int, nbytes: int) -> Tuple[int, int]:
+        """Page-index bounds ``[lo, hi)`` of ``[offset, offset+nbytes)``.
+
+        The O(1) counterpart of :meth:`page_spans` for the fast path:
+        two divisions instead of a generator.  ``nbytes == 0`` yields an
+        empty range (``lo == hi``), matching ``page_spans`` yielding
+        nothing.
+        """
+        if offset < 0 or nbytes < 0 or offset + nbytes > self._brk:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) outside address space"
+            )
+        ps = self.page_size
+        lo = offset // ps
+        if nbytes == 0:
+            return lo, lo
+        return lo, (offset + nbytes - 1) // ps + 1
+
+    def page_spans_list(
+        self, offset: int, nbytes: int
+    ) -> List[Tuple[int, int, int]]:
+        """:meth:`page_spans` materialized as a list, computed without a
+        generator (the slow path walks it twice: faults, then bytes)."""
+        lo, hi = self.span_bounds(offset, nbytes)
+        ps = self.page_size
+        end = offset + nbytes
+        spans = []
+        pos = offset
+        for page in range(lo, hi):
+            start = pos - page * ps
+            length = min(ps - start, end - pos)
+            spans.append((page, start, length))
+            pos += length
+        return spans
+
     # -- backing store ----------------------------------------------------
 
     def backing_page(self, page: int) -> np.ndarray:

@@ -6,6 +6,10 @@ optimizations landed.  These tests re-run the same configurations and
 require *exact* equality — the optimizations must change wall-clock
 time only, never a single simulated microsecond or counter.
 
+The goldens predate the shared-access fast path, so every case runs
+twice — fast path on and off (``REPRO_DSM_NO_FASTPATH=1``) — proving
+both modes reproduce the pre-optimization simulated results exactly.
+
 Regenerate the goldens only when the simulation's *semantics* change
 intentionally (a protocol fix, a cost-model change):
 
@@ -19,6 +23,7 @@ import pytest
 
 from repro import RunConfig, run_program, run_sequential, variant_by_name
 from repro.apps import registry
+from repro.core import fastpath
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_engine.json"
 GOLDENS = json.loads(GOLDEN_PATH.read_text())
@@ -37,12 +42,20 @@ def _run(golden):
     return run_program(module.program(), cfg, params)
 
 
+@pytest.fixture(params=[True, False], ids=["fastpath", "legacy"])
+def fastpath_mode(request):
+    saved = fastpath.ENABLED
+    fastpath.set_enabled(request.param)
+    yield request.param
+    fastpath.set_enabled(saved)
+
+
 @pytest.mark.parametrize(
     "golden",
     GOLDENS,
     ids=[f"{g['app']}-{g['variant']}-{g['nprocs']}p" for g in GOLDENS],
 )
-def test_run_matches_golden(golden):
+def test_run_matches_golden(golden, fastpath_mode):
     result = _run(golden)
     assert result.exec_time == golden["exec_time"]
     assert result.network_bytes == golden["network_bytes"]

@@ -189,3 +189,131 @@ def test_range_roundtrip_property(start, count):
         return (yield from arr.read_range(env, start, count))
 
     assert np.array_equal(drive(engine, work()), payload)
+
+
+# -- edge cases, exercised with the fast path on and off --------------------
+
+
+@pytest.fixture(params=[True, False], ids=["fastpath", "legacy"])
+def fastpath_mode(request):
+    from repro.core import fastpath
+
+    saved = fastpath.ENABLED
+    fastpath.set_enabled(request.param)
+    yield request.param
+    fastpath.set_enabled(saved)
+
+
+def test_get_put_at_page_boundary(fastpath_mode):
+    """Single elements straddling a page edge: the last element of one
+    page and the first of the next."""
+    engine, space, env = make_env(page_size=1024)  # 128 f64 per page
+    arr = SharedArray.alloc(space, "v", np.float64, (300,))
+    arr.initialize(np.zeros(300))
+
+    def work():
+        for elem in (127, 128, 255, 256, 0, 299):
+            yield from arr.put(env, elem, float(elem) + 0.5)
+        got = []
+        for elem in (127, 128, 255, 256, 0, 299):
+            got.append((yield from arr.get(env, elem)))
+        return got
+
+    assert drive(engine, work()) == [
+        127.5, 128.5, 255.5, 256.5, 0.5, 299.5
+    ]
+
+
+def test_write_range_multipage_noncontiguous_input(fastpath_mode):
+    """A strided (non-contiguous) values array written across several
+    pages must land exactly as its contiguous copy would."""
+    engine, space, env = make_env(page_size=256)  # 32 f64 per page
+    arr = SharedArray.alloc(space, "v", np.float64, (200,))
+    arr.initialize(np.zeros(200))
+    backing = np.arange(180, dtype=np.float64)
+    strided = backing[::2]  # 90 elements, stride 16 bytes
+    assert not strided.flags["C_CONTIGUOUS"]
+
+    def work():
+        yield from arr.write_range(env, 7, strided)  # spans ~4 pages
+        return (yield from arr.read_range(env, 0, 200))
+
+    out = drive(engine, work())
+    expected = np.zeros(200)
+    expected[7:97] = backing[::2]
+    assert np.array_equal(out, expected)
+
+
+def test_write_rows_2d_noncontiguous_input(fastpath_mode):
+    engine, space, env = make_env(page_size=256)
+    arr = SharedArray.alloc(space, "m", np.float64, (16, 16))
+    arr.initialize(np.zeros((16, 16)))
+    big = np.arange(16 * 32, dtype=np.float64).reshape(16, 32)
+    block = big[2:5, ::2]  # non-contiguous 3x16 view
+
+    def work():
+        yield from arr.write_rows(env, 5, block)
+        return (yield from arr.read_rows(env, 5, 8))
+
+    assert np.array_equal(drive(engine, work()), np.ascontiguousarray(block))
+
+
+@pytest.mark.parametrize(
+    "index",
+    [(-1, 0), (0, -1), (4, 0), (0, 4), (3, 99)],
+    ids=["neg-row", "neg-col", "row-over", "col-over", "col-way-over"],
+)
+def test_get_put_out_of_bounds(fastpath_mode, index):
+    engine, space, env = make_env()
+    arr = SharedArray.alloc(space, "m", np.float64, (4, 4))
+    arr.initialize(np.zeros((4, 4)))
+
+    def get():
+        yield from arr.get(env, index)
+
+    def put():
+        yield from arr.put(env, index, 1.0)
+
+    with pytest.raises(IndexError):
+        drive(engine, get())
+    with pytest.raises(IndexError):
+        drive(engine, put())
+
+
+@pytest.mark.parametrize(
+    "start,count",
+    [(-1, 2), (8, 3), (10, 1), (0, 11)],
+    ids=["neg-start", "tail-over", "at-end", "count-over"],
+)
+def test_range_out_of_bounds(fastpath_mode, start, count):
+    engine, space, env = make_env()
+    arr = SharedArray.alloc(space, "v", np.float64, (10,))
+    arr.initialize(np.zeros(10))
+
+    def read():
+        yield from arr.read_range(env, start, count)
+
+    with pytest.raises(IndexError):
+        drive(engine, read())
+
+    engine, space, env = make_env()
+    arr = SharedArray.alloc(space, "v", np.float64, (10,))
+    arr.initialize(np.zeros(10))
+
+    def write():
+        yield from arr.write_range(env, start, np.zeros(count))
+
+    with pytest.raises(IndexError):
+        drive(engine, write())
+
+
+def test_zero_length_range_at_end(fastpath_mode):
+    """A zero-length range at the end is legal, not out of bounds."""
+    engine, space, env = make_env()
+    arr = SharedArray.alloc(space, "v", np.float64, (10,))
+    arr.initialize(np.zeros(10))
+
+    def empty():
+        return (yield from arr.read_range(env, 10, 0))
+
+    assert drive(engine, empty()).size == 0
