@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation) and records the simulated results in ``benchmark.extra_info``
+so they appear in the pytest-benchmark report.  Simulated runs are
+deterministic, so each benchmark executes a single round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One shared context so sequential baselines are computed once."""
+    return ExperimentContext(scale="small")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

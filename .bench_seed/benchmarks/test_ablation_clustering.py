@@ -1,0 +1,53 @@
+"""Ablation: SMP clustering — the same 16 processors arranged as
+16x1, 8x2, or 4x4 nodes.
+
+Cashmere exploits hardware coherence inside a node (home-node processors
+access the master copy directly; same-node messages skip the wire), so
+it should gain more from fatter nodes than TreadMarks, which "does not
+use ... intra-node sharing except message buffers" (Section 3.4).
+"""
+
+from repro.config import CSM_POLL, TMK_MC_POLL, ClusterConfig
+from repro.harness.runner import ExperimentContext
+
+from conftest import run_once
+
+SHAPES = {
+    "16x1": ClusterConfig(n_nodes=16, cpus_per_node=1),
+    "8x2": ClusterConfig(n_nodes=8, cpus_per_node=2),
+    "4x4": ClusterConfig(n_nodes=4, cpus_per_node=4),
+}
+
+
+def test_fat_nodes_help_cashmere_more(benchmark, ctx):
+    def measure():
+        out = {}
+        for shape, cluster in SHAPES.items():
+            shaped = ExperimentContext(
+                scale=ctx.scale, cluster=cluster, warm_start=ctx.warm_start
+            )
+            for variant in (CSM_POLL, TMK_MC_POLL):
+                seq = shaped.sequential("sor")
+                run = shaped.run("sor", variant, 16)
+                out[(shape, variant.name)] = run.speedup_over(seq.exec_time)
+        return out
+
+    speedups = run_once(benchmark, measure)
+    print()
+    print(f"{'shape':>6} {'csm_poll':>10} {'tmk_mc_poll':>12}")
+    for shape in SHAPES:
+        print(
+            f"{shape:>6} {speedups[(shape, 'csm_poll')]:>10.2f}"
+            f" {speedups[(shape, 'tmk_mc_poll')]:>12.2f}"
+        )
+    benchmark.extra_info.update(
+        {f"{s}_{v}": x for (s, v), x in speedups.items()}
+    )
+    csm_gain = speedups[("4x4", "csm_poll")] / speedups[("16x1", "csm_poll")]
+    tmk_gain = (
+        speedups[("4x4", "tmk_mc_poll")] / speedups[("16x1", "tmk_mc_poll")]
+    )
+    print(f"fat-node gain: csm {csm_gain:.2f}x, tmk {tmk_gain:.2f}x")
+    # Clustering helps the system that exploits intra-node coherence.
+    assert csm_gain > 1.0
+    assert csm_gain >= tmk_gain * 0.95

@@ -1,0 +1,39 @@
+"""Ablation: Cashmere's exclusive-mode optimisation.
+
+The implemented protocol replaced the simulated protocol's "weak state"
+with exclusive mode + explicit write notices: "pages in exclusive mode
+experience only the initial write fault, the minimum of possible
+protocol overhead" (Section 2.1).  Disabling it forces every writer to
+re-fault and re-publish after every release — visible as extra write
+faults and extra time on SOR, whose interior band pages have exactly one
+writer and no other sharers.
+"""
+
+from repro.config import CSM_POLL
+
+from conftest import run_once
+
+
+def test_exclusive_mode_saves_faults_on_sor(benchmark, ctx):
+    def measure():
+        on = ctx.run("sor", CSM_POLL, 8)
+        off = ctx.run("sor", CSM_POLL, 8, exclusive_mode=False)
+        return on, off
+
+    on, off = run_once(benchmark, measure)
+    on_faults = on.counter("write_faults")
+    off_faults = off.counter("write_faults")
+    print(
+        f"\nexclusive on : {on.exec_time / 1e6:.3f}s, "
+        f"{on_faults} write faults"
+        f"\nexclusive off: {off.exec_time / 1e6:.3f}s, "
+        f"{off_faults} write faults"
+    )
+    benchmark.extra_info.update(
+        on_seconds=on.exec_time / 1e6,
+        off_seconds=off.exec_time / 1e6,
+        on_write_faults=on_faults,
+        off_write_faults=off_faults,
+    )
+    assert off_faults > 2 * on_faults
+    assert off.exec_time > on.exec_time

@@ -1,0 +1,48 @@
+"""Ablation: cold data distribution vs. steady state.
+
+At the paper's scale, runs last minutes and distributing the data set
+over the 32 MB/s hub once is negligible; at simulation scale it can
+dominate TreadMarks runs (every page moves from its manager at first
+touch, while Cashmere's first-touch homing makes most first touches
+local).  ``warm_start`` pre-validates copies everywhere to isolate the
+steady-state protocol comparison; this benchmark quantifies the gap that
+EXPERIMENTS.md discusses.
+"""
+
+from repro.config import TMK_MC_POLL, CSM_POLL
+from repro.harness.runner import ExperimentContext
+
+from conftest import run_once
+
+
+def test_warm_start_quantifies_cold_cost(benchmark, ctx):
+    cold_ctx = ExperimentContext(scale=ctx.scale, warm_start=False)
+
+    def measure():
+        cold = cold_ctx.run("sor", TMK_MC_POLL, 16)
+        warm = ctx.run("sor", TMK_MC_POLL, 16)
+        cold_csm = cold_ctx.run("sor", CSM_POLL, 16)
+        warm_csm = ctx.run("sor", CSM_POLL, 16)
+        return cold, warm, cold_csm, warm_csm
+
+    cold, warm, cold_csm, warm_csm = run_once(benchmark, measure)
+    tmk_saving = 1.0 - warm.exec_time / cold.exec_time
+    csm_saving = 1.0 - warm_csm.exec_time / cold_csm.exec_time
+    print(
+        f"\ntmk: cold {cold.exec_time / 1e6:.3f}s -> warm "
+        f"{warm.exec_time / 1e6:.3f}s ({tmk_saving:.0%} cold-start)"
+        f"\ncsm: cold {cold_csm.exec_time / 1e6:.3f}s -> warm "
+        f"{warm_csm.exec_time / 1e6:.3f}s ({csm_saving:.0%} cold-start)"
+    )
+    benchmark.extra_info.update(
+        tmk_cold_seconds=cold.exec_time / 1e6,
+        tmk_warm_seconds=warm.exec_time / 1e6,
+        csm_cold_seconds=cold_csm.exec_time / 1e6,
+        csm_warm_seconds=warm_csm.exec_time / 1e6,
+    )
+    # TreadMarks' cold start is the heavy one; warming must remove the
+    # full-page fetches entirely.
+    assert warm.exec_time < cold.exec_time
+    assert warm.counter("page_fetches") == 0
+    # Cashmere's first-touch homing already makes cold start cheap.
+    assert tmk_saving > csm_saving

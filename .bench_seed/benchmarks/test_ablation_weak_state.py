@@ -1,0 +1,42 @@
+"""Ablation: the implemented protocol vs. the simulation studies' weak
+state.
+
+"We have also made modifications to the protocol itself.  In particular
+we have removed the weak state ... The current protocol opts instead for
+the exclusive mode and for explicit write notices ...  These two
+enhancements improve Cashmere's ability to efficiently handle private
+pages and producer-consumer sharing patterns" (Section 2.1).
+
+SOR's interior band pages are exactly such private pages: under the
+weak state every processor re-invalidates and re-faults its own band at
+every barrier.
+"""
+
+from repro.config import CSM_POLL
+
+from conftest import run_once
+
+
+def test_weak_state_regression_on_sor(benchmark, ctx):
+    def measure():
+        modern = ctx.run("sor", CSM_POLL, 8)
+        weak = ctx.run("sor", CSM_POLL, 8, weak_state=True)
+        return modern, weak
+
+    modern, weak = run_once(benchmark, measure)
+    print(
+        f"\nexclusive+notices: {modern.exec_time / 1e6:.3f}s "
+        f"({modern.counter('write_faults')} write faults, "
+        f"{modern.counter('page_transfers')} transfers)"
+        f"\nweak state       : {weak.exec_time / 1e6:.3f}s "
+        f"({weak.counter('write_faults')} write faults, "
+        f"{weak.counter('page_transfers')} transfers)"
+    )
+    benchmark.extra_info.update(
+        modern_seconds=modern.exec_time / 1e6,
+        weak_seconds=weak.exec_time / 1e6,
+        modern_write_faults=modern.counter("write_faults"),
+        weak_write_faults=weak.counter("write_faults"),
+    )
+    assert weak.counter("write_faults") > 2 * modern.counter("write_faults")
+    assert weak.exec_time > modern.exec_time

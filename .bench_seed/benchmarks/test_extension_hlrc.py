@@ -1,0 +1,78 @@
+"""Extension: home-based LRC against the paper's two systems.
+
+The paper closes by saying "we intend to study alternative fine-grain
+protocols in more detail"; HLRC is the alternative the field converged
+on.  These benches place it on the paper's own axes:
+
+* On multi-writer false sharing (Barnes) it should behave like
+  Cashmere: readers make ONE page fetch from the home instead of
+  collecting a diff from every writer.
+* On sparse data (Ilink) it should behave like Cashmere too (whole-page
+  reads), giving up TreadMarks' thin-diff advantage — protocols are
+  trade-offs, not strict improvements.
+"""
+
+from repro.config import CSM_POLL, HLRC_POLL, TMK_MC_POLL
+
+from conftest import run_once
+
+
+def test_hlrc_on_false_sharing(benchmark, ctx):
+    def measure():
+        out = {}
+        for variant in (CSM_POLL, TMK_MC_POLL, HLRC_POLL):
+            seq = ctx.sequential("barnes")
+            run = ctx.run("barnes", variant, 16)
+            out[variant.name] = (
+                run.speedup_over(seq.exec_time),
+                run.counter("messages"),
+            )
+        return out
+
+    results = run_once(benchmark, measure)
+    print()
+    for name, (speedup, messages) in results.items():
+        print(f"  {name:<12} speedup={speedup:5.2f}  messages={messages:,}")
+    benchmark.extra_info.update(
+        {name: speedup for name, (speedup, _) in results.items()}
+    )
+    # HLRC's message count sits near Cashmere's, far under TreadMarks'.
+    assert results["hlrc_poll"][1] < results["tmk_mc_poll"][1] / 2
+    # And it is competitive on speedup with both.
+    assert results["hlrc_poll"][0] > 0.7 * max(
+        results["csm_poll"][0], results["tmk_mc_poll"][0]
+    )
+
+
+def test_hlrc_gives_up_sparse_advantage(benchmark, ctx):
+    def measure():
+        out = {}
+        for variant in (CSM_POLL, TMK_MC_POLL, HLRC_POLL):
+            run = ctx.run("ilink", variant, 16)
+            out[variant.name] = run.network_bytes
+        return out
+
+    wire = run_once(benchmark, measure)
+    print()
+    for name, nbytes in wire.items():
+        print(f"  {name:<12} wire={nbytes / 1024:,.0f} KB")
+    benchmark.extra_info.update(wire)
+    # Whole-page readers move roughly Cashmere-like volumes; TreadMarks'
+    # diffs stay the leanest on sparse data.
+    assert wire["tmk_mc_poll"] < wire["hlrc_poll"]
+    assert wire["tmk_mc_poll"] < wire["csm_poll"]
+
+
+def test_hlrc_scales_on_sor(benchmark, ctx):
+    def measure():
+        seq = ctx.sequential("sor")
+        return {
+            n: ctx.run("sor", HLRC_POLL, n).speedup_over(seq.exec_time)
+            for n in (8, 16, 32)
+        }
+
+    speedups = run_once(benchmark, measure)
+    print()
+    print("  sor hlrc_poll:", speedups)
+    benchmark.extra_info.update({str(k): v for k, v in speedups.items()})
+    assert speedups[32] > speedups[8] > 1.0

@@ -1,0 +1,46 @@
+"""Network-sensitivity sweeps: the paper's "three principal factors".
+
+"First, the current Memory Channel has relatively modest cross-sectional
+bandwidth, which limits the performance of write-through" (Section 1).
+Cashmere's write-through and whole-page transfers make it the
+bandwidth-hungry system, so its speedup must respond more strongly to a
+bandwidth sweep than TreadMarks'.
+"""
+
+from repro.harness import sweep
+
+from conftest import run_once
+
+
+def test_bandwidth_sweep_favours_cashmere(benchmark, ctx):
+    points = run_once(
+        benchmark,
+        lambda: sweep.sweep_bandwidth(
+            ctx, app="sor", nprocs=16, multipliers=(0.5, 1.0, 4.0)
+        ),
+    )
+    print()
+    print(sweep.render(points))
+    improvements = sweep.gains(points)
+    benchmark.extra_info.update(improvements)
+    # Everyone benefits from more bandwidth...
+    for name, gain in improvements.items():
+        assert gain > 1.0, f"{name} did not benefit from bandwidth"
+    # ...but the write-through system benefits more.
+    assert improvements["csm_poll"] >= improvements["tmk_mc_poll"]
+
+
+def test_latency_sweep_hurts_fine_grain_more(benchmark, ctx):
+    points = run_once(
+        benchmark,
+        lambda: sweep.sweep_latency(
+            ctx, app="sor", nprocs=16, latencies=(2.6, 5.2, 20.8)
+        ),
+    )
+    print()
+    print(sweep.render(points))
+    spreads = sweep.gains(points)
+    benchmark.extra_info.update(spreads)
+    # Latency moves both systems (all traffic crosses the same wire).
+    for name, spread in spreads.items():
+        assert spread >= 1.0

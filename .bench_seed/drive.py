@@ -1,0 +1,32 @@
+import json, subprocess, sys
+
+POINTS = [(a, v) for a in ("lu", "gauss", "sor")
+          for v in ("csm_poll", "tmk_mc_poll", "hlrc_poll")]
+
+def run(tree, app, variant):
+    out = subprocess.run(
+        [sys.executable, ".bench_seed/timepoint.py", app, variant, "3"],
+        env={"PYTHONPATH": tree, "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, check=True).stdout
+    return json.loads(out)
+
+seed, cur, exec_seed, exec_cur = {}, {}, {}, {}
+for cycle in range(4):
+    for app, variant in POINTS:
+        key = f"{app}/{variant}/8p"
+        s = run(".bench_seed/src", app, variant)
+        c = run("src", app, variant)
+        seed[key] = min(seed.get(key, 1e9), s["seconds"])
+        cur[key] = min(cur.get(key, 1e9), c["seconds"])
+        exec_seed[key], exec_cur[key] = s["exec_time"], c["exec_time"]
+        print(f"cycle{cycle} {key}: seed={s['seconds']:.3f} cur={c['seconds']:.3f}", flush=True)
+
+assert exec_seed == exec_cur, (exec_seed, exec_cur)
+ratios = [seed[k] / cur[k] for k in seed]
+import math
+geo = math.exp(sum(map(math.log, ratios)) / len(ratios))
+print("per-point best:", json.dumps({k: round(seed[k]/cur[k], 3) for k in seed}, indent=1))
+print("geomean speedup:", round(geo, 3))
+json.dump({"points": seed, "commit": "202e79c",
+           "methodology": "execute_point(PointSpec) 8p small, plain CostModel, warm_start; interleaved seed/current, best of 3 reps x 4 cycles, fresh process per invocation"},
+          open(".bench_seed/baseline.json", "w"), indent=1)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: run one application on both DSM systems and compare.
+
+Runs Red-Black SOR sequentially (the paper's Table 2 baseline) and then
+on 8 simulated processors under Cashmere and TreadMarks, verifying that
+both protocols produce exactly the data the sequential run produced, and
+printing the speedups and the Figure 6-style time breakdown.
+
+Usage::
+
+    python examples/quickstart.py [nprocs]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CSM_POLL, TMK_MC_POLL, RunConfig, run_program, run_sequential
+from repro.apps import sor
+from repro.stats import Category
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    app = sor.program()
+    params = sor.default_params("small")
+    print(f"Red-Black SOR, {params['rows']}x{params['cols']} grid, "
+          f"{params['iters']} iterations, {nprocs} processors\n")
+
+    sequential = run_sequential(app, params)
+    print(f"sequential (no DSM linked): {sequential.exec_time / 1e6:.3f} "
+          "simulated seconds")
+
+    for variant in (CSM_POLL, TMK_MC_POLL):
+        result = run_program(
+            app, RunConfig(variant=variant, nprocs=nprocs), params
+        )
+        matches = np.allclose(result.values[0][1], sequential.values[0][1])
+        speedup = result.speedup_over(sequential.exec_time)
+        print(f"\n{variant.name}:")
+        print(f"  execution time : {result.exec_time / 1e6:.3f} s "
+              f"(speedup {speedup:.2f}x)")
+        print(f"  data correct   : {matches}")
+        fractions = result.breakdown.fractions()
+        bars = "  breakdown      : " + "  ".join(
+            f"{c.value}={fractions[c]:.0%}" for c in Category
+        )
+        print(bars)
+        agg = result.stats.aggregate_counters()
+        print(f"  read faults    : {agg['read_faults']}")
+        print(f"  write faults   : {agg['write_faults']}")
+        if agg["page_transfers"]:
+            print(f"  page transfers : {agg['page_transfers']}")
+        if agg["diffs_created"]:
+            print(f"  diffs created  : {agg['diffs_created']}")
+
+
+if __name__ == "__main__":
+    main()

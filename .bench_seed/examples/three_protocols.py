@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Three software DSM designs, one decade of protocol evolution.
+
+The paper compares Cashmere (fine-grain, write-through to homes) and
+TreadMarks (coarse-grain, lazy twins/diffs) and asks in closing which
+way the field should go.  This package also implements where it *did*
+go: home-based LRC, which keeps TreadMarks' lazy consistency metadata
+but moves data like Cashmere — eager diffs to a home, one-message page
+validation.
+
+This example races all three (polling variants) on three sharing
+patterns and prints the trade-off matrix.
+
+Usage::
+
+    python examples/three_protocols.py [nprocs]
+"""
+
+import sys
+
+from repro import CSM_POLL, HLRC_POLL, TMK_MC_POLL, RunConfig, run_program
+from repro.apps import registry
+from repro.core import run_sequential
+
+APPS = ("sor", "ilink", "barnes")  # banded, sparse, false sharing
+VARIANTS = (CSM_POLL, TMK_MC_POLL, HLRC_POLL)
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    print(f"{nprocs} processors; speedup over the unlinked sequential run,")
+    print("with protocol messages and wire bytes in parentheses\n")
+    header = f"{'app':<8}" + "".join(f"{v.name:>26}" for v in VARIANTS)
+    print(header)
+    for app_name in APPS:
+        module = registry.load(app_name)
+        program = module.program()
+        params = module.default_params("small")
+        seq = run_sequential(program, params)
+        cells = []
+        for variant in VARIANTS:
+            result = run_program(
+                program,
+                RunConfig(variant=variant, nprocs=nprocs, warm_start=True),
+                params,
+            )
+            speedup = result.speedup_over(seq.exec_time)
+            messages = result.counter("messages")
+            wire_kb = result.network_bytes / 1024
+            cells.append(
+                f"{speedup:6.2f}x ({messages:>6,} / {wire_kb:>6,.0f}K)"
+            )
+        print(f"{app_name:<8}" + "".join(f"{c:>26}" for c in cells))
+    print(
+        "\nReading the matrix:"
+        "\n  sor    - banded writers: all three scale; TreadMarks pays"
+        " twin/diff and barrier-metadata overheads per iteration."
+        "\n  ilink  - sparse writes: TreadMarks' thin diffs move the"
+        " fewest bytes; whole-page readers (csm, hlrc) move pages."
+        "\n  barnes - multi-writer false sharing: home-based merging"
+        " (csm, hlrc) needs a fraction of TreadMarks' messages."
+    )
+
+
+if __name__ == "__main__":
+    main()

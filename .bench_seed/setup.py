@@ -1,0 +1,19 @@
+"""Legacy setup shim: the execution environment has no network and no
+``wheel`` package, so editable installs must go through
+``setup.py develop`` rather than PEP 660."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'VM-Based Shared Memory on Low-Latency, "
+        "Remote-Memory-Access Networks' (ISCA 1997)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-dsm=repro.harness.cli:main"]},
+)

@@ -1,0 +1,10 @@
+"""The paper's eight benchmark applications, ported to the DSM API.
+
+Each module exposes ``program()`` (the :class:`repro.core.Program`),
+``default_params(scale)`` and the module-level sharing-pattern notes the
+paper's evaluation relies on.
+"""
+
+from repro.apps import registry
+
+__all__ = ["registry"]

@@ -1,0 +1,33 @@
+"""Helpers shared by the benchmark applications."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def band(rank: int, nprocs: int, n: int) -> Tuple[int, int]:
+    """Contiguous band ``[lo, hi)`` of ``n`` rows for ``rank``.
+
+    Rows are divided into roughly equal bands, with the first ``n %
+    nprocs`` processors getting one extra row — the banding every
+    band-partitioned application in the paper uses.
+    """
+    if not (0 <= rank < nprocs):
+        raise ValueError(f"rank {rank} out of range for {nprocs}")
+    base = n // nprocs
+    extra = n % nprocs
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+def cyclic_rows(rank: int, nprocs: int, n: int) -> range:
+    """Rows assigned cyclically (Gauss's load-balanced distribution)."""
+    return range(rank, n, nprocs)
+
+
+def deterministic_rng(seed: int) -> np.random.Generator:
+    """A seeded generator so every run sees identical input data."""
+    return np.random.default_rng(seed)

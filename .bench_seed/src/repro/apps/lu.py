@@ -1,0 +1,183 @@
+"""LU: blocked dense LU factorization from SPLASH-2 (paper Section 4.2).
+
+"The matrix A is divided into square blocks for temporal and spatial
+locality.  Each block is owned by a particular processor, which performs
+all computation on it."
+
+The matrix is stored block-contiguous, so with the paper's 32x32 blocks
+one block is exactly one 8 KB page.  The paper traces Cashmere's poor LU
+performance to write doubling pushing the 16 KB primary working set out
+of the 21064A's first-level cache (Section 4.3), which the working-set
+declaration below reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.core import Program, SharedArray
+from repro.apps.common import deterministic_rng
+
+# Per-flop cost of the blocked kernels (dgemm-like inner loops, cache
+# resident on a 233 MHz 21064A).
+US_PER_FLOP = 0.03
+
+
+def default_params(scale: str = "small") -> Dict:
+    """Scaled-down versions of the paper's 2048x2048, 32x32-block run."""
+    sizes = {
+        "tiny": dict(n=64, block=16),
+        "small": dict(n=512, block=32),
+        "large": dict(n=768, block=32),
+    }
+    return dict(sizes[scale])
+
+
+def _owner(bi: int, bj: int, nblocks: int, nprocs: int) -> int:
+    """2D scatter ownership, as in SPLASH-2."""
+    return (bi * nblocks + bj) % nprocs
+
+
+def _working_set(block: int) -> WorkingSet:
+    """The paper's analysis: primary working set is two blocks (the
+    destination block plus a source block); doubling adds the MC copy of
+    the destination block."""
+    block_bytes = block * block * 8
+    return WorkingSet(
+        primary=2 * block_bytes,
+        doubled=block_bytes,
+        twin=0,  # twins are touched once per interval, not per inner loop
+    )
+
+
+def setup(space, params: Dict) -> Dict:
+    n, block = params["n"], params["block"]
+    if n % block:
+        raise ValueError("matrix size must be a multiple of the block size")
+    nb = n // block
+    rng = deterministic_rng(params.get("seed", 1997))
+    # Diagonally dominant so the factorization needs no pivoting.
+    dense = rng.random((n, n)) + np.eye(n) * n
+    blocked = (
+        dense.reshape(nb, block, nb, block).swapaxes(1, 2).copy()
+    )  # [bi][bj][i][j], each block contiguous
+    matrix = SharedArray.alloc(
+        space, "lu_matrix", np.float64, (nb * nb, block * block)
+    )
+    matrix.initialize(blocked.reshape(nb * nb, block * block))
+    return {"matrix": matrix, "dense": dense}
+
+
+def _block_row(nb: int, bi: int, bj: int) -> int:
+    return bi * nb + bj
+
+
+def worker(env, shared: Dict, params: Dict):
+    n, block = params["n"], params["block"]
+    nb = n // block
+    matrix = shared["matrix"]
+    ws = _working_set(block)
+    b3 = float(block) ** 3
+
+    def read_block(bi, bj):
+        rows = yield from matrix.read_rows(
+            env, _block_row(nb, bi, bj), _block_row(nb, bi, bj) + 1
+        )
+        return rows.reshape(block, block)
+
+    def write_block(bi, bj, data):
+        yield from matrix.write_rows(
+            env, _block_row(nb, bi, bj), data.reshape(1, block * block)
+        )
+
+    for k in range(nb):
+        # Phase 1: the diagonal block's owner factors it in place.
+        if _owner(k, k, nb, env.nprocs) == env.rank:
+            diag = yield from read_block(k, k)
+            yield from env.compute(
+                (b3 / 3) * US_PER_FLOP, polls=block * block, ws=ws
+            )
+            lu = _factor_diag(diag)
+            yield from write_block(k, k, lu)
+        yield from env.barrier(0)
+
+        # Phase 2: perimeter blocks (row k and column k).
+        diag = None
+        for bi in range(k + 1, nb):
+            if _owner(bi, k, nb, env.nprocs) == env.rank:
+                if diag is None:
+                    diag = yield from read_block(k, k)
+                mine = yield from read_block(bi, k)
+                yield from env.compute(
+                    (b3 / 2) * US_PER_FLOP, polls=block * block, ws=ws
+                )
+                yield from write_block(bi, k, _solve_col(mine, diag))
+            if _owner(k, bi, nb, env.nprocs) == env.rank:
+                if diag is None:
+                    diag = yield from read_block(k, k)
+                mine = yield from read_block(k, bi)
+                yield from env.compute(
+                    (b3 / 2) * US_PER_FLOP, polls=block * block, ws=ws
+                )
+                yield from write_block(k, bi, _solve_row(mine, diag))
+        yield from env.barrier(0)
+
+        # Phase 3: interior update A[i][j] -= L[i][k] @ U[k][j].
+        col_cache = {}
+        row_cache = {}
+        for bi in range(k + 1, nb):
+            for bj in range(k + 1, nb):
+                if _owner(bi, bj, nb, env.nprocs) != env.rank:
+                    continue
+                if bi not in col_cache:
+                    col_cache[bi] = yield from read_block(bi, k)
+                if bj not in row_cache:
+                    row_cache[bj] = yield from read_block(k, bj)
+                mine = yield from read_block(bi, bj)
+                yield from env.compute(
+                    2 * b3 * US_PER_FLOP, polls=block * block, ws=ws
+                )
+                updated = mine - col_cache[bi] @ row_cache[bj]
+                yield from write_block(bi, bj, updated)
+        yield from env.barrier(0)
+    env.stop_timer()
+    if env.rank == 0:
+        final = yield from matrix.read_all(env)
+        return final
+    return None
+
+
+def _factor_diag(a: np.ndarray) -> np.ndarray:
+    """Unpivoted LU of one block, L and U packed together."""
+    lu = a.copy()
+    n = len(lu)
+    for i in range(n):
+        lu[i + 1 :, i] /= lu[i, i]
+        lu[i + 1 :, i + 1 :] -= np.outer(lu[i + 1 :, i], lu[i, i + 1 :])
+    return lu
+
+
+def _solve_col(a: np.ndarray, diag_lu: np.ndarray) -> np.ndarray:
+    """A := A @ U^-1 (column-perimeter triangular solve)."""
+    n = len(a)
+    out = a.copy()
+    for j in range(n):
+        out[:, j] /= diag_lu[j, j]
+        out[:, j + 1 :] -= np.outer(out[:, j], diag_lu[j, j + 1 :])
+    return out
+
+
+def _solve_row(a: np.ndarray, diag_lu: np.ndarray) -> np.ndarray:
+    """A := L^-1 @ A (row-perimeter triangular solve)."""
+    n = len(a)
+    out = a.copy()
+    for i in range(n):
+        out[i + 1 :, :] -= np.outer(diag_lu[i + 1 :, i], out[i, :])
+    return out
+
+
+def program() -> Program:
+    return Program(name="lu", setup=setup, worker=worker)

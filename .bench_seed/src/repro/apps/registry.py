@@ -1,0 +1,49 @@
+"""Registry of the paper's eight applications (Table 2 order)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple
+
+
+class AppSpec(NamedTuple):
+    """How the harness finds and scales one application."""
+
+    name: str
+    module: str
+    paper_problem_size: str
+    paper_sequential_seconds: float
+
+
+# Table 2 of the paper: problem sizes and sequential execution times on
+# one 233 MHz 21064A.  (Several numerals are OCR-damaged in the source
+# text; values here are the commonly cited ones and are only used for
+# side-by-side reporting, never for computation.)
+APPS = (
+    AppSpec("sor", "repro.apps.sor", "3072x4096 (50 MB)", 194.96),
+    AppSpec("lu", "repro.apps.lu", "2046x2046 (33 MB)", 254.77),
+    AppSpec("water", "repro.apps.water", "4096 mols (4 MB)", 1847.56),
+    AppSpec("tsp", "repro.apps.tsp", "17 cities (1 MB)", 4036.95),
+    AppSpec("gauss", "repro.apps.gauss", "2046x2046 (33 MB)", 953.71),
+    AppSpec("ilink", "repro.apps.ilink", "CLP (15 MB)", 898.97),
+    AppSpec("em3d", "repro.apps.em3d", "60646 nodes (49 MB)", 161.43),
+    AppSpec("barnes", "repro.apps.barnes", "128K bodies (26 MB)", 469.43),
+)
+
+APP_NAMES = tuple(spec.name for spec in APPS)
+
+
+def load(name: str):
+    """Import and return the app module for ``name``."""
+    import importlib
+
+    for spec in APPS:
+        if spec.name == name:
+            return importlib.import_module(spec.module)
+    raise ValueError(f"unknown application {name!r}; known: {APP_NAMES}")
+
+
+def spec(name: str) -> AppSpec:
+    for found in APPS:
+        if found.name == name:
+            return found
+    raise ValueError(f"unknown application {name!r}; known: {APP_NAMES}")

@@ -1,0 +1,17 @@
+"""The simulated hardware: nodes, processors, caches, and the Memory
+Channel network with its request/response messaging layer."""
+
+from repro.cluster.network import MemoryChannel
+from repro.cluster.cache import CacheModel
+from repro.cluster.machine import Cluster, Node, Processor
+from repro.cluster.messaging import Messenger, Request
+
+__all__ = [
+    "CacheModel",
+    "Cluster",
+    "MemoryChannel",
+    "Messenger",
+    "Node",
+    "Processor",
+    "Request",
+]

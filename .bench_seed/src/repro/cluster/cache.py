@@ -1,0 +1,76 @@
+"""First/second-level cache working-set cost model.
+
+The paper traces the most dramatic Cashmere/TreadMarks differences (LU,
+Gauss) to cache pressure: write doubling pushes the primary working set
+out of the 21064A's 16 KB first-level cache, and TreadMarks' twins and
+diffs compete for second-level cache space.  Simulating a cache per
+access is infeasible in Python, so the model is declarative: a compute
+phase states its working set, and the model converts (working set +
+protocol-added footprint) into a compute-time inflation factor.
+"""
+
+from __future__ import annotations
+
+from repro.config import CostModel, WorkingSet
+
+
+class CacheModel:
+    """Turns a declared working set into a compute inflation factor."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+
+    def factor(self, resident_bytes: int) -> float:
+        """Inflation for a working set of ``resident_bytes``.
+
+        Below L1 there is no penalty; between L1 and L2 the penalty
+        interpolates up to ``l2_penalty``; beyond L2 it interpolates up
+        to ``mem_penalty``.  The interpolation avoids cliff artifacts
+        when scaled-down working sets sit near a boundary.
+        """
+        if resident_bytes < 0:
+            raise ValueError("negative working set")
+        l1, l2 = self.costs.l1_bytes, self.costs.l2_bytes
+        if resident_bytes <= l1:
+            return 1.0
+        if resident_bytes <= l2:
+            # Spilling L1 hurts fast: at twice the L1 size roughly half
+            # the accesses miss, which is already the full out-of-L1
+            # penalty for a streaming working set.
+            ramp = min(1.0, (resident_bytes - l1) / l1)
+            return 1.0 + (self.costs.l2_penalty - 1.0) * ramp
+        span = min(1.0, (resident_bytes - l2) / (4.0 * l2))
+        return self.costs.l2_penalty + (
+            self.costs.mem_penalty - self.costs.l2_penalty
+        ) * span
+
+    def secondary_factor(self, resident_bytes: int) -> float:
+        """Inflation from the phase's larger reuse set against L2."""
+        if resident_bytes <= self.costs.l2_bytes:
+            return 1.0
+        span = min(
+            1.0,
+            (resident_bytes - self.costs.l2_bytes) / self.costs.l2_bytes,
+        )
+        # Working out of DRAM instead of the board cache.
+        return 1.0 + (self.costs.mem_penalty - self.costs.l2_penalty) * span
+
+    def total_factor(
+        self, ws: WorkingSet, extra_l1: int = 0, extra_l2: int = 0
+    ) -> float:
+        """Compute-time multiplier for a phase whose declared working
+        sets carry protocol-added footprint.
+
+        Application compute constants are calibrated for cache-resident
+        execution; this factor inflates them when the primary set (plus
+        ``extra_l1``) spills L1 or the secondary reuse set (plus
+        ``extra_l2``) spills L2 — including in the sequential baseline,
+        which is how Gauss's "performance jump when the per-processor
+        data fits in the second-level cache" emerges.
+        """
+        result = 1.0
+        if ws.primary > 0:
+            result *= self.factor(ws.primary + max(extra_l1, 0))
+        if ws.secondary > 0:
+            result *= self.secondary_factor(ws.secondary + max(extra_l2, 0))
+        return result

@@ -1,0 +1,182 @@
+"""Request/response messaging over the Memory Channel (or kernel UDP).
+
+TreadMarks uses this layer for everything (it treats the Memory Channel
+purely as a fast messaging system); Cashmere uses it only for page-fetch
+requests, since directories, locks and write notices travel as plain
+remote writes.
+
+Two transports are modelled (Section 3.4):
+
+* ``MEMORY_CHANNEL`` — user-level message buffers in MC space; when the
+  two processes share a node the buffers live in ordinary shared memory
+  and never touch the network.
+* ``UDP`` — DEC's kernel-level UDP over MC: the same wire, plus a kernel
+  crossing on each end of every message.
+
+Requests are delivered into the target processor's mailbox; the reply
+path never needs an interrupt because requesters spin (and service other
+incoming requests re-entrantly while they spin).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.config import CostModel, Transport
+from repro.cluster.machine import Cluster, Processor
+from repro.cluster.network import MemoryChannel
+from repro.sim import Engine, Event
+from repro.stats import Category
+
+LOCAL_MSG_LATENCY = 1.0  # us; same-node buffers in hardware-coherent memory
+
+
+@dataclass
+class Request:
+    """One in-flight request, awaiting a reply."""
+
+    kind: str
+    requester: Processor
+    payload: Any
+    size: int
+    reply_event: Event
+    seq: int = field(default=0)
+    replied: bool = False
+
+    def __repr__(self) -> str:
+        return f"<Request #{self.seq} {self.kind} from p{self.requester.pid}>"
+
+
+class Messenger:
+    """Sends requests and replies, charging CPU and wire costs."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        network: MemoryChannel,
+        costs: CostModel,
+        transport: Transport,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.network = network
+        self.costs = costs
+        self.transport = transport
+        self._seq = itertools.count(1)
+
+    # -- cost helpers ------------------------------------------------------
+
+    @property
+    def _cpu_per_msg(self) -> float:
+        if self.transport is Transport.UDP:
+            return self.costs.msg_cpu_udp
+        return self.costs.msg_cpu_mc
+
+    def _wire(self, src: Processor, dst: Processor, nbytes: int) -> float:
+        """Absolute sim time at which ``nbytes`` land at ``dst``."""
+        if src.node is dst.node:
+            return self.engine.now + LOCAL_MSG_LATENCY
+        return self.network.write(src.node.nid, nbytes)
+
+    # -- request / reply ------------------------------------------------------
+
+    def post_request(
+        self,
+        src: Processor,
+        dst: Processor,
+        kind: str,
+        payload: Any = None,
+        size: int = 0,
+    ) -> Generator[Event, Any, Request]:
+        """Send a request to ``dst`` and return the in-flight Request.
+
+        The caller decides when (and whether) to block on
+        ``request.reply_event`` — Cashmere and TreadMarks both overlap
+        multiple outstanding requests at a fault.
+        """
+        request = Request(
+            kind=kind,
+            requester=src,
+            payload=payload,
+            size=size,
+            reply_event=self.engine.event(),
+            seq=next(self._seq),
+        )
+        nbytes = size + self.costs.msg_header
+        marshal = 0.5 * self.costs.memcpy_cost(size)
+        yield from src.busy(self._cpu_per_msg + marshal, Category.PROTOCOL)
+        src.bump("messages")
+        src.bump("data_bytes", nbytes)
+        arrive = self._wire(src, dst, nbytes)
+        recv_cpu = self._cpu_per_msg if self.transport is Transport.UDP else 0.0
+        self.engine.call_at(
+            max(arrive, self.engine.now) + recv_cpu,
+            lambda: dst.deliver(request),
+        )
+        return request
+
+    def request(
+        self,
+        src: Processor,
+        dst: Processor,
+        kind: str,
+        payload: Any = None,
+        size: int = 0,
+    ) -> Generator[Event, Any, Any]:
+        """Send a request and spin until the reply arrives."""
+        req = yield from self.post_request(src, dst, kind, payload, size)
+        return (yield from src.wait(req.reply_event))
+
+    def reply(
+        self,
+        servicer: Processor,
+        request: Request,
+        payload: Any = None,
+        size: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Send the reply for ``request`` from ``servicer``."""
+        if request.replied:
+            raise RuntimeError(f"{request!r} already replied")
+        request.replied = True
+        nbytes = size + self.costs.msg_header
+        # Marshalling the payload into the transmit region moves it
+        # across the server's bus once (the Memory Channel has no remote
+        # reads, so data always flows through a CPU; payloads such as
+        # fresh diffs are cache-hot).  Handlers serving *cold* data add
+        # the read pass themselves.
+        marshal = 0.5 * self.costs.memcpy_cost(size)
+        yield from servicer.busy(
+            self._cpu_per_msg + marshal, Category.PROTOCOL
+        )
+        servicer.bump("messages")
+        servicer.bump("data_bytes", nbytes)
+        arrive = self._wire(servicer, request.requester, nbytes)
+
+        def land() -> None:
+            if not request.reply_event.triggered:
+                request.reply_event.succeed(payload)
+
+        self.engine.call_at(max(arrive, self.engine.now), land)
+
+    def forward(
+        self,
+        via: Processor,
+        dst: Processor,
+        request: Request,
+        extra_bytes: int = 0,
+    ) -> Generator[Event, Any, None]:
+        """Forward an in-flight request to another processor (TreadMarks
+        lock requests go manager -> current owner)."""
+        nbytes = request.size + extra_bytes + self.costs.msg_header
+        yield from via.busy(self._cpu_per_msg, Category.PROTOCOL)
+        via.bump("messages")
+        via.bump("data_bytes", nbytes)
+        arrive = self._wire(via, dst, nbytes)
+        recv_cpu = self._cpu_per_msg if self.transport is Transport.UDP else 0.0
+        self.engine.call_at(
+            max(arrive, self.engine.now) + recv_cpu,
+            lambda: dst.deliver(request),
+        )

@@ -1,0 +1,89 @@
+"""Model of DEC's Memory Channel network.
+
+The protocol-relevant properties (Section 3.1 of the paper):
+
+* user-level remote *writes* only — no remote reads;
+* ~5.2 us process-to-process write latency;
+* per-link bandwidth limited by the 32-bit PCI bus (~30 MB/s) and
+  aggregate bandwidth limited by the early device driver (~32 MB/s);
+* writes are totally ordered and may be broadcast to every node;
+* optional loop-back of a node's own writes (used only for locks).
+
+Transfers are modelled with busy-until occupancy times per transmit link
+plus a shared hub pipe, which reproduces the paper's observation that the
+"relatively modest cross-sectional bandwidth ... limits the performance
+of write-through".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.config import ClusterConfig, CostModel
+
+
+@dataclass
+class LinkUsage:
+    """Aggregate traffic accounting for one transmit link."""
+
+    bytes_sent: int = 0
+    transfers: int = 0
+
+
+class MemoryChannel:
+    """Occupancy-based Memory Channel timing model.
+
+    All methods return the simulated time at which the written data is
+    visible in the destination receive region(s); they also advance the
+    internal busy-until bookkeeping.  The caller charges CPU time
+    separately — the network model only accounts for the wire.
+    """
+
+    def __init__(self, engine, cluster: ClusterConfig, costs: CostModel):
+        self.engine = engine
+        self.cluster = cluster
+        self.costs = costs
+        self._link_busy: List[float] = [0.0] * cluster.n_nodes
+        self._hub_busy: float = 0.0
+        self.usage: List[LinkUsage] = [
+            LinkUsage() for _ in range(cluster.n_nodes)
+        ]
+        self.total_bytes = 0
+
+    # -- timing ---------------------------------------------------------
+
+    def write(self, src_node: int, nbytes: int, broadcast: bool = False) -> float:
+        """Schedule a remote write of ``nbytes`` from ``src_node``.
+
+        Returns the absolute sim time at which the data is visible at the
+        destination(s).  A broadcast occupies the hub once and is seen by
+        every node (the hub replicates it), which is how Cashmere pushes
+        directory updates.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        now = self.engine.now
+        start = max(now, self._link_busy[src_node])
+        link_end = start + nbytes / self.costs.mc_link_bandwidth
+        hub_start = max(start, self._hub_busy)
+        hub_end = hub_start + nbytes / self.costs.mc_aggregate_bandwidth
+        done = max(link_end, hub_end)
+        self._link_busy[src_node] = link_end
+        self._hub_busy = hub_end
+        self.usage[src_node].bytes_sent += nbytes
+        self.usage[src_node].transfers += 1
+        self.total_bytes += nbytes
+        return done + self.costs.mc_latency
+
+    def flush_time(self, src_node: int) -> float:
+        """Sim time at which all writes issued so far from ``src_node``
+        have drained (used by Cashmere releases to wait for write-through
+        completion)."""
+        return max(self._link_busy[src_node], 0.0) + self.costs.mc_latency
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def aggregate_bytes(self) -> int:
+        return self.total_bytes

@@ -1,0 +1,20 @@
+"""The paper's contribution: two page-based software DSM protocols
+(Cashmere and TreadMarks) and the runtime that programs use."""
+
+from repro.core.base import DsmProtocol
+from repro.core.runtime.program import (
+    Program,
+    RunResult,
+    run_program,
+    run_sequential,
+)
+from repro.core.runtime.shared import SharedArray
+
+__all__ = [
+    "DsmProtocol",
+    "Program",
+    "RunResult",
+    "SharedArray",
+    "run_program",
+    "run_sequential",
+]

@@ -1,0 +1,271 @@
+"""The protocol interface the DSM runtime drives.
+
+Both Cashmere and TreadMarks implement this interface.  Every method that
+consumes simulated time is a generator (it yields simulation events); the
+runtime composes them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.cluster.machine import Processor
+from repro.cluster.messaging import Request
+from repro.core.fastpath import PermBitmaps
+from repro.memory.page import Protection
+from repro.stats import Category
+
+Span = Tuple[int, int, int]  # (page, start_within_page, length)
+
+
+class DsmProtocol(abc.ABC):
+    """Coherence, synchronization, and data access for one DSM system."""
+
+    #: whether poll instrumentation costs apply to this run
+    counts_polling = True
+
+    #: installed by the program runner; a disabled tracer is free
+    tracer = None
+
+    #: permission bitmaps mirroring per-page ``perm`` state; protocols
+    #: that support the vectorized hit path create one in ``__init__``
+    perms: Optional[PermBitmaps] = None
+
+    #: True when ``apply_write`` on a writable page consumes no simulated
+    #: time and emits no events (TreadMarks/HLRC write the local copy
+    #: only), making an all-hot write span eligible for the zero-cost
+    #: scatter.  Cashmere keeps this False: every shared write runs the
+    #: doubled-write sequence even when no fault is taken.
+    free_writes = False
+
+    def trace(self, proc, kind: str, *, dur: float = 0.0, **details) -> None:
+        """Record a protocol event when tracing is enabled.
+
+        ``dur > 0`` records a *span* that started ``dur`` microseconds
+        ago (callers emit spans when they end); the tracer files it
+        under its start time.  See ``docs/OBSERVABILITY.md`` for the
+        catalog of kinds and their ``details`` fields.
+        """
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                proc.engine.now - dur, proc.pid, kind, dur=dur, **details
+            )
+
+    # -- page access ------------------------------------------------------
+
+    @abc.abstractmethod
+    def ensure_read(self, proc: Processor, page: int) -> Generator:
+        """Make ``page`` readable at ``proc`` (take a read fault if not)."""
+
+    @abc.abstractmethod
+    def ensure_write(self, proc: Processor, page: int) -> Generator:
+        """Make ``page`` writable at ``proc`` (take a write fault if not)."""
+
+    @abc.abstractmethod
+    def page_data(self, proc: Processor, page: int) -> np.ndarray:
+        """``proc``'s current mapping of ``page`` as a uint8 array.
+
+        Only valid after :meth:`ensure_read` / :meth:`ensure_write`.
+        """
+
+    @abc.abstractmethod
+    def apply_write(
+        self, proc: Processor, page: int, start: int, raw: np.ndarray
+    ) -> Generator:
+        """Apply a write of ``raw`` bytes at ``start`` within ``page``.
+
+        Cashmere doubles the write through to the home copy and charges
+        the doubling sequence; TreadMarks writes the local copy only.
+        """
+
+    # -- fast-path layer ---------------------------------------------------
+    #
+    # The already-mapped case costs nothing on the paper's hardware (the
+    # Alpha MMU only traps on actual protection faults), so the
+    # simulation makes it O(1): one vectorized bitmap slice decides
+    # whether a whole span is hot, and hot spans move bytes without
+    # entering a single protocol generator.  Cold spans fall into the
+    # ``ensure_*_span`` batched fault loops below, which preserve the
+    # per-page event order, counters, and trace emission of the original
+    # per-page loop exactly.
+
+    def _set_perm(self, pid: int, page: int, holder, perm: Protection) -> None:
+        """The single funnel for permission transitions: update the
+        authoritative per-page state and the mirrored bitmap together."""
+        holder.perm = perm
+        if self.perms is not None:
+            self.perms.set(pid, page, perm)
+
+    def fast_read(
+        self, proc: Processor, space, offset: int, nbytes: int
+    ) -> Optional[np.ndarray]:
+        """The zero-cost read hit path.
+
+        If every page spanned by ``[offset, offset+nbytes)`` is readable
+        at ``proc``, gather the bytes across the page copies and return
+        them; otherwise return None (the caller takes the fault path).
+        A hot read is free and event-less under every protocol, so the
+        gather is bit-identical to the per-page generator loop.
+        """
+        perms = self.perms
+        if perms is None:
+            return None
+        lo, hi = space.span_bounds(offset, nbytes)
+        if not perms.read_ready(proc.pid, lo, hi):
+            return None
+        out = np.empty(nbytes, np.uint8)
+        ps = space.page_size
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            out[pos : pos + length] = self.page_data(proc, page)[
+                start : start + length
+            ]
+            pos += length
+            addr += length
+        return out
+
+    def fast_write(
+        self, proc: Processor, space, offset: int, raw: np.ndarray
+    ) -> bool:
+        """The zero-cost write hit path.
+
+        Only protocols whose ``apply_write`` is free (``free_writes``)
+        can scatter directly: if every spanned page is writable, copy
+        the bytes into the page copies and return True.  Returns False
+        when any page is cold or writes carry per-word cost (Cashmere's
+        doubling), sending the caller down the fault path.
+        """
+        perms = self.perms
+        if perms is None or not self.free_writes:
+            return False
+        nbytes = raw.nbytes
+        lo, hi = space.span_bounds(offset, nbytes)
+        if not perms.write_ready(proc.pid, lo, hi):
+            return False
+        ps = space.page_size
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            self.page_data(proc, page)[start : start + length] = raw[
+                pos : pos + length
+            ]
+            pos += length
+            addr += length
+        return True
+
+    def ensure_read_span(self, proc: Processor, lo: int, hi: int) -> Generator:
+        """Fault in the cold pages of ``[lo, hi)``, in page order.
+
+        Hot pages are skipped via the bitmap — ``ensure_read`` on a
+        mapped page is a pure no-op (no time, no counters, no events),
+        so the skip is invisible to the simulation.  The bitmap is
+        consulted at each page's turn (not precomputed), because a fault
+        on an earlier page may block and service requests that change
+        later pages' state.
+        """
+        perms = self.perms
+        for page in range(lo, hi):
+            if perms is None or not perms.readable_at(proc.pid, page):
+                yield from self.ensure_read(proc, page)
+
+    def ensure_write_span(
+        self, proc: Processor, spans: List[Span], raw: np.ndarray
+    ) -> Generator:
+        """Write ``raw`` across ``spans``, faulting cold pages.
+
+        Per-page event order is preserved exactly: each page's fault (if
+        any) is immediately followed by its ``apply_write``, as in the
+        original loop.  Interleaving matters — a fault on a later page
+        can block and close the current interval (e.g. servicing a lock
+        grant), and the bytes written to earlier pages must already be
+        in place when that happens.  Only the no-op ``ensure_write``
+        calls on already-writable pages are elided.
+        """
+        perms = self.perms
+        pos = 0
+        for page, start, length in spans:
+            if perms is None or not perms.writable_at(proc.pid, page):
+                yield from self.ensure_write(proc, page)
+            yield from self.apply_write(
+                proc, page, start, raw[pos : pos + length]
+            )
+            pos += length
+
+    def check_perm_bitmaps(self) -> None:
+        """Assert the bitmaps agree with per-page ``perm`` state
+        (subclasses supply the authoritative pairs via
+        ``_perm_entries``)."""
+        if self.perms is None:
+            return
+        for pid in range(self.perms.nprocs):
+            self.perms.expect(pid, self._perm_entries(pid))
+
+    def _perm_entries(self, pid: int):
+        """Authoritative ``(page, Protection)`` pairs for one processor
+        (override in protocols that maintain bitmaps)."""
+        return ()
+
+    # -- synchronization ------------------------------------------------------
+
+    @abc.abstractmethod
+    def lock_acquire(self, proc: Processor, lock_id: int) -> Generator:
+        """Acquire an application lock, with acquire-side consistency."""
+
+    @abc.abstractmethod
+    def lock_release(self, proc: Processor, lock_id: int) -> Generator:
+        """Release an application lock, with release-side consistency."""
+
+    @abc.abstractmethod
+    def barrier(self, proc: Processor, barrier_id: int) -> Generator:
+        """Global barrier with release+acquire consistency semantics."""
+
+    @abc.abstractmethod
+    def flag_set(self, proc: Processor, flag_id: int) -> Generator:
+        """Producer side of a one-shot synchronization flag."""
+
+    @abc.abstractmethod
+    def flag_wait(self, proc: Processor, flag_id: int) -> Generator:
+        """Consumer side of a one-shot synchronization flag."""
+
+    # -- remote request service ----------------------------------------------
+
+    @abc.abstractmethod
+    def serve(self, proc: Processor, request: Request) -> Generator:
+        """Handle one incoming remote request on ``proc``."""
+
+    # -- cost modelling hooks ---------------------------------------------
+
+    def compute_factors(self, ws: WorkingSet) -> tuple:
+        """Cache-model multipliers for a compute phase.
+
+        Returns ``(user_factor, total_factor, overhead_category)``:
+        ``user_factor`` is the inherent cache cost of the phase (what the
+        application would pay with no DSM system linked in);
+        ``total_factor`` adds the protocol's extra cache footprint (write
+        doubling for Cashmere, twins/diffs for TreadMarks); the
+        difference is charged to ``overhead_category``.
+        """
+        return 1.0, 1.0, Category.PROTOCOL
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Called once before worker processes begin."""
+
+    def prewarm(self) -> None:
+        """Give every processor a valid read-only copy of every page
+        (the ``warm_start`` option; see :class:`repro.config.RunConfig`)."""
+
+    def check_invariants(self) -> None:
+        """Debug hook: raise if internal state is inconsistent."""

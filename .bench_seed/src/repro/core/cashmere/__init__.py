@@ -1,0 +1,8 @@
+"""Cashmere: directory-based software DSM using Memory Channel remote
+writes for fine-grain communication (Section 2.1 of the paper)."""
+
+from repro.core.cashmere.protocol import CashmereProtocol
+from repro.core.cashmere.directory import Directory, DirectoryEntry
+from repro.core.cashmere.lists import NoticeList
+
+__all__ = ["CashmereProtocol", "Directory", "DirectoryEntry", "NoticeList"]

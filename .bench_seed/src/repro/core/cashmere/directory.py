@@ -1,0 +1,67 @@
+"""Cashmere's distributed page directory.
+
+A directory entry is a set of eight 4-byte words, one per SMP node, each
+holding presence bits for the node's four CPUs, the page's home node, a
+first-touch bit, and exclusive-mode bits.  The directory is replicated on
+every node: reads are local, updates are broadcast over the Memory
+Channel.  The simulator keeps one authoritative copy and charges the
+replication costs explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+@dataclass
+class DirectoryEntry:
+    """Authoritative sharing state of one page."""
+
+    page: int
+    sharers: Set[int] = field(default_factory=set)  # processor ids
+    home_node: Optional[int] = None
+    home_from_first_touch: bool = False
+    exclusive_holder: Optional[int] = None
+    never_exclusive: bool = False
+    # Only used by the legacy weak-state protocol variant: a page with
+    # any writer is "weak" and invalidated by every sharer at acquires.
+    weak: bool = False
+
+    @property
+    def home_assigned(self) -> bool:
+        return self.home_node is not None
+
+    def others(self, pid: int) -> Set[int]:
+        return self.sharers - {pid}
+
+
+class Directory:
+    """Lazy map page -> :class:`DirectoryEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, page: int) -> DirectoryEntry:
+        found = self._entries.get(page)
+        if found is None:
+            found = DirectoryEntry(page)
+            self._entries[page] = found
+        return found
+
+    def known_entries(self) -> Dict[int, DirectoryEntry]:
+        return dict(self._entries)
+
+    def check(self) -> None:
+        """Invariant check: exclusive holder must be the only sharer's
+        candidate writer and must itself be a sharer."""
+        for page, entry in self._entries.items():
+            holder = entry.exclusive_holder
+            if holder is not None and holder not in entry.sharers:
+                raise AssertionError(
+                    f"page {page}: exclusive holder {holder} is not a sharer"
+                )
+            if holder is not None and entry.never_exclusive:
+                raise AssertionError(
+                    f"page {page}: exclusive but flagged never-exclusive"
+                )

@@ -1,0 +1,48 @@
+"""Cashmere's globally accessible per-processor lists.
+
+Each processor exports two lists in Memory Channel space, protected by
+cluster-wide locks:
+
+* the *write notice list* — pages valid on the processor that remote
+  processors have written (with a bitmap to suppress duplicates);
+* the *no-longer-exclusive (NLE) list* — pages the processor once held
+  exclusively that have since been shared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Set
+
+
+class NoticeList:
+    """An appendable page list with a duplicate-suppressing bitmap."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[int] = deque()
+        self._bitmap: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._bitmap
+
+    def append(self, page: int) -> bool:
+        """Add ``page`` unless a notice is already pending for it.
+
+        Returns True if a new descriptor was actually appended (and hence
+        a Memory Channel write was needed).
+        """
+        if page in self._bitmap:
+            return False
+        self._bitmap.add(page)
+        self._queue.append(page)
+        return True
+
+    def drain(self) -> Iterator[int]:
+        """Remove and yield all pending pages."""
+        while self._queue:
+            page = self._queue.popleft()
+            self._bitmap.discard(page)
+            yield page

@@ -1,0 +1,500 @@
+"""The Cashmere coherence protocol (Section 2.1 / 3.3 of the paper).
+
+Key mechanics, all reproduced here:
+
+* a replicated page directory updated by Memory Channel broadcast;
+* home nodes assigned by first touch after initialization;
+* every shared write *doubled* to the home node's copy (write-through),
+  so the home copy is always current and concurrent writers merge at
+  word granularity;
+* per-processor write-notice and no-longer-exclusive (NLE) lists in MC
+  space;
+* *exclusive mode*: a page whose releaser finds no other sharers stops
+  paying write faults and notices until someone else touches it;
+* page data moves by asking a processor at the home node to write the
+  page through the Memory Channel (no remote reads on MC1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from repro.config import RunConfig, WorkingSet
+from repro.cluster.machine import Cluster, Processor
+from repro.cluster.messaging import Messenger, Request
+from repro.cluster.network import MemoryChannel
+from repro.cluster.cache import CacheModel
+from repro.core.base import DsmProtocol
+from repro.core.cashmere.directory import Directory, DirectoryEntry
+from repro.core.fastpath import PermBitmaps
+from repro.core.cashmere.lists import NoticeList
+from repro.core.cashmere.sync import SyncTable
+from repro.memory.address_space import AddressSpace
+from repro.memory.page import Protection
+from repro.sim import Engine
+from repro.stats import Category, StatsBoard
+
+PAGE_FETCH = "csm_page_fetch"
+
+
+@dataclass
+class PageEntry:
+    """One processor's mapping of one page."""
+
+    perm: Protection = Protection.NONE
+    copy: Optional[np.ndarray] = None  # None while mapped to the home copy
+
+
+@dataclass
+class ProcState:
+    """Cashmere per-processor protocol state."""
+
+    write_notices: NoticeList = field(default_factory=NoticeList)
+    nle: NoticeList = field(default_factory=NoticeList)
+    dirty: list = field(default_factory=list)
+    flush_due: float = 0.0  # write-through drain deadline
+
+
+class CashmereProtocol(DsmProtocol):
+    """Directory-based multi-writer release consistency over MC."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        network: MemoryChannel,
+        messenger: Messenger,
+        space: AddressSpace,
+        stats: StatsBoard,
+        run_cfg: RunConfig,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.network = network
+        self.messenger = messenger
+        self.space = space
+        self.stats = stats
+        self.cfg = run_cfg
+        self.costs = run_cfg.costs
+        self.cache = CacheModel(self.costs)
+        self.directory = Directory()
+        self.sync = SyncTable(engine, network, self.costs, cluster.nprocs)
+        self.procs: Dict[int, ProcState] = {
+            p.pid: ProcState() for p in cluster.procs
+        }
+        self.entries: Dict[int, Dict[int, PageEntry]] = {
+            p.pid: {} for p in cluster.procs
+        }
+        self.master: Dict[int, np.ndarray] = {}
+        self.perms = PermBitmaps(cluster.nprocs, space.n_pages)
+        self._next_home_rr = 0  # used when first-touch homing is disabled
+
+    # ------------------------------------------------------------------
+    # page table helpers
+    # ------------------------------------------------------------------
+
+    def _entry(self, pid: int, page: int) -> PageEntry:
+        table = self.entries[pid]
+        found = table.get(page)
+        if found is None:
+            found = PageEntry()
+            table[page] = found
+        return found
+
+    def _master_page(self, page: int) -> np.ndarray:
+        data = self.master.get(page)
+        if data is None:
+            data = self.space.backing_page(page).copy()
+            self.master[page] = data
+        return data
+
+    def _is_home(self, proc: Processor, entry: DirectoryEntry) -> bool:
+        return entry.home_node == proc.node.nid
+
+    # -- hit path --------------------------------------------------------
+    #
+    # Specialized over the base implementation: the bitmap has already
+    # vouched for read permission, so a hot read goes straight to the
+    # page-table entry (home processors read the master copy they alias).
+    # There is no ``fast_write``: every Cashmere shared write runs the
+    # doubled-write sequence even when no fault is taken.
+
+    def fast_read(self, proc, space, offset, nbytes):
+        if nbytes == 0:
+            return np.empty(0, np.uint8)
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.r_rows[pid][lo]:
+                return None
+            data = self.entries[pid][lo].copy
+            if data is None:
+                data = self._master_page(lo)
+            return data[start : start + nbytes].copy()
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.r_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return None
+        table = self.entries[pid]
+        out = np.empty(nbytes, np.uint8)
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            data = table[page].copy
+            if data is None:
+                data = self._master_page(page)
+            out[pos : pos + length] = data[start : start + length]
+            pos += length
+            addr += length
+        return out
+
+    # ------------------------------------------------------------------
+    # directory cost helpers
+    # ------------------------------------------------------------------
+
+    def _dir_update(self, proc: Processor, locked: bool = False) -> Generator:
+        """Modify a directory word locally and broadcast the update."""
+        cost = self.costs.dir_modify_locked if locked else self.costs.dir_modify
+        yield from proc.busy(cost, Category.PROTOCOL)
+        self.network.write(proc.node.nid, 8, broadcast=True)
+
+    # ------------------------------------------------------------------
+    # faults
+    # ------------------------------------------------------------------
+
+    def ensure_read(self, proc: Processor, page: int) -> Generator:
+        entry = self._entry(proc.pid, page)
+        if entry.perm.allows_read():
+            return
+        proc.bump("read_faults")
+        self.trace(proc, "read_fault", page=page)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        yield from self._validate_page(proc, page, entry)
+        self._set_perm(proc.pid, page, entry, Protection.READ)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def ensure_write(self, proc: Processor, page: int) -> Generator:
+        entry = self._entry(proc.pid, page)
+        if entry.perm.allows_write():
+            return
+        proc.bump("write_faults")
+        self.trace(proc, "write_fault", page=page)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        if not entry.perm.allows_read():
+            yield from self._validate_page(proc, page, entry)
+        state = self.procs[proc.pid]
+        dir_entry = self.directory.entry(page)
+        if self.cfg.weak_state:
+            # Legacy protocol: the first write moves the page to the
+            # weak state; no per-interval bookkeeping after that.
+            if not dir_entry.weak:
+                dir_entry.weak = True
+                yield from self._dir_update(proc)
+        elif dir_entry.exclusive_holder != proc.pid:
+            state.dirty.append(page)
+        self._set_perm(proc.pid, page, entry, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _validate_page(
+        self, proc: Processor, page: int, entry: PageEntry
+    ) -> Generator:
+        """The common read/write fault path: join the sharing set, assign
+        the home if needed, break exclusivity, and obtain the data."""
+        dir_entry = self.directory.entry(page)
+        dir_entry.sharers.add(proc.pid)
+        yield from self._dir_update(proc)
+        if not dir_entry.home_assigned:
+            yield from self._assign_home(proc, dir_entry)
+        holder = dir_entry.exclusive_holder
+        if holder is not None and holder != proc.pid:
+            # Former exclusive sharer must learn the page is shared again:
+            # append a descriptor to its NLE list (a cluster-wide-locked
+            # list in MC space).
+            dir_entry.exclusive_holder = None
+            yield from proc.busy(self.costs.lock_mc, Category.PROTOCOL)
+            if self.procs[holder].nle.append(page):
+                self.network.write(
+                    proc.node.nid, self.costs.write_notice_bytes
+                )
+            yield from self._dir_update(proc)
+        yield from self._fetch_data(proc, page, entry, dir_entry)
+
+    def _assign_home(
+        self, proc: Processor, dir_entry: DirectoryEntry
+    ) -> Generator:
+        """First-touch home assignment (or round-robin when disabled)."""
+        if self.cfg.first_touch_homes:
+            home = proc.node.nid
+            first_touch = True
+        else:
+            active = [n.nid for n in self.cluster.nodes if n.processors]
+            home = active[self._next_home_rr % len(active)]
+            self._next_home_rr += 1
+            first_touch = False
+        dir_entry.home_node = home
+        dir_entry.home_from_first_touch = first_touch
+        self.trace(proc, "home_assigned", page=dir_entry.page, home=home)
+        # Asserting home ownership takes the directory entry lock.
+        yield from self._dir_update(proc, locked=True)
+        self._master_page(dir_entry.page)
+
+    def _fetch_data(
+        self,
+        proc: Processor,
+        page: int,
+        entry: PageEntry,
+        dir_entry: DirectoryEntry,
+    ) -> Generator:
+        master = self._master_page(page)
+        if self._is_home(proc, dir_entry):
+            entry.copy = None  # maps the home copy directly
+            return
+        if entry.copy is None:
+            entry.copy = np.empty(self.space.page_size, np.uint8)
+        if self.cfg.remote_reads:
+            # Hypothetical hardware remote reads (Section 3.2): the page
+            # streams from the home node's memory with no remote CPU
+            # involvement, crossing each bus exactly once.
+            done = self.network.write(dir_entry.home_node, self.space.page_size)
+            arrived = self.engine.event()
+            self.engine.call_at(done, lambda: arrived.succeed())
+            yield from proc.wait(arrived, Category.COMM_WAIT)
+            entry.copy[:] = master
+            proc.bump("page_transfers")
+        else:
+            # Ask a processor at the home node to write us the page (MC
+            # has no remote reads).  The reply lands by DMA in the
+            # receive-mapped local copy, so the requester pays no extra
+            # memcpy (Section 3.3: only the *home* moves the data across
+            # its bus twice).
+            target = self.cluster.nodes[dir_entry.home_node].request_target()
+            snapshot = yield from self.messenger.request(
+                proc, target, PAGE_FETCH, payload=page, size=0
+            )
+            entry.copy[:] = snapshot
+            proc.bump("page_transfers")
+        self.trace(proc, "page_transfer", page=page, home=dir_entry.home_node)
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+
+    def page_data(self, proc: Processor, page: int) -> np.ndarray:
+        entry = self._entry(proc.pid, page)
+        if not entry.perm.allows_read():
+            raise RuntimeError(
+                f"p{proc.pid} touched page {page} without a mapping"
+            )
+        if entry.copy is None:
+            return self._master_page(page)
+        return entry.copy
+
+    def apply_write(
+        self, proc: Processor, page: int, start: int, raw: np.ndarray
+    ) -> Generator:
+        entry = self._entry(proc.pid, page)
+        if not entry.perm.allows_write():
+            raise RuntimeError(
+                f"p{proc.pid} wrote page {page} without write permission"
+            )
+        local = self.page_data(proc, page)
+        local[start : start + len(raw)] = raw
+        master = self._master_page(page)
+        remote_home = local is not master
+        if remote_home:
+            master[start : start + len(raw)] = raw
+        # The doubled-write instruction sequence runs for every shared
+        # write, local or remote (Section 3.3.1).
+        n_words = max(1, len(raw) // 8)
+        yield from proc.busy(
+            n_words * self.costs.write_double, Category.WDOUBLE
+        )
+        if remote_home and not self.cfg.write_double_dummy:
+            # Write-through traffic to the home node; releases must wait
+            # for it to drain.
+            done = self.network.write(proc.node.nid, len(raw))
+            state = self.procs[proc.pid]
+            state.flush_due = max(state.flush_due, done)
+            proc.bump("write_through_bytes", len(raw))
+
+    # ------------------------------------------------------------------
+    # release / acquire processing
+    # ------------------------------------------------------------------
+
+    def _process_release(self, proc: Processor) -> Generator:
+        state = self.procs[proc.pid]
+        # A release cannot complete before its write-through has been
+        # applied at the home nodes.
+        if state.flush_due > self.engine.now:
+            flush_start = self.engine.now
+            done = self.engine.event()
+            self.engine.call_at(state.flush_due, lambda: done.succeed())
+            yield from proc.wait(done, Category.COMM_WAIT)
+            self.trace(
+                proc, "write_flush", dur=self.engine.now - flush_start
+            )
+        if self.cfg.weak_state:
+            return  # the legacy protocol sends no write notices
+        for page in state.dirty:
+            yield from self._publish_page(proc, page, from_nle=False)
+        state.dirty.clear()
+        for page in list(state.nle.drain()):
+            yield from self._publish_page(proc, page, from_nle=True)
+
+    def _publish_page(
+        self, proc: Processor, page: int, from_nle: bool
+    ) -> Generator:
+        dir_entry = self.directory.entry(page)
+        entry = self._entry(proc.pid, page)
+        if from_nle:
+            dir_entry.never_exclusive = True
+        others = dir_entry.others(proc.pid)
+        may_go_exclusive = (
+            self.cfg.exclusive_mode
+            and not from_nle
+            and not dir_entry.never_exclusive
+        )
+        if not others and may_go_exclusive:
+            dir_entry.exclusive_holder = proc.pid
+            self.trace(proc, "exclusive_enter", page=page)
+            yield from self._dir_update(proc)
+            return  # keeps read/write permission: no more faults/notices
+        for other in sorted(others):
+            yield from proc.busy(self.costs.lock_mc, Category.PROTOCOL)
+            if self.procs[other].write_notices.append(page):
+                self.network.write(
+                    proc.node.nid, self.costs.write_notice_bytes
+                )
+                proc.bump("write_notices_sent")
+                self.trace(proc, "write_notice", page=page, to=other)
+        if entry.perm is Protection.READ_WRITE:
+            self._set_perm(proc.pid, page, entry, Protection.READ)
+            yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _process_acquire(self, proc: Processor) -> Generator:
+        state = self.procs[proc.pid]
+        if self.cfg.weak_state:
+            # Legacy protocol: optimistically assume every weak page was
+            # modified during the interval; invalidate them all.
+            for page, entry in self.entries[proc.pid].items():
+                if entry.perm is Protection.NONE:
+                    continue
+                yield from proc.busy(0.5, Category.PROTOCOL)  # dir check
+                dir_entry = self.directory.entry(page)
+                if not dir_entry.weak:
+                    continue
+                dir_entry.sharers.discard(proc.pid)
+                yield from self._dir_update(proc)
+                self._set_perm(proc.pid, page, entry, Protection.NONE)
+                yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+            return
+        for page in list(state.write_notices.drain()):
+            dir_entry = self.directory.entry(page)
+            dir_entry.sharers.discard(proc.pid)
+            yield from self._dir_update(proc)
+            entry = self._entry(proc.pid, page)
+            if entry.perm is not Protection.NONE:
+                self._set_perm(proc.pid, page, entry, Protection.NONE)
+                self.trace(proc, "invalidate", page=page)
+                yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    # ------------------------------------------------------------------
+    # synchronization API
+    # ------------------------------------------------------------------
+
+    def lock_acquire(self, proc: Processor, lock_id: int) -> Generator:
+        yield from self.sync.lock(lock_id).acquire(proc)
+        yield from self._process_acquire(proc)
+
+    def lock_release(self, proc: Processor, lock_id: int) -> Generator:
+        yield from self._process_release(proc)
+        yield from self.sync.lock(lock_id).release(proc)
+
+    def barrier(self, proc: Processor, barrier_id: int) -> Generator:
+        yield from self._process_release(proc)
+        self.trace(proc, "barrier_arrive", barrier=barrier_id)
+        yield from self.sync.barrier(barrier_id).arrive_and_wait(proc)
+        yield from self._process_acquire(proc)
+
+    def flag_set(self, proc: Processor, flag_id: int) -> Generator:
+        yield from self._process_release(proc)
+        yield from self.sync.flag(flag_id).post(proc)
+
+    def flag_wait(self, proc: Processor, flag_id: int) -> Generator:
+        yield from self.sync.flag(flag_id).wait(proc)
+        yield from self._process_acquire(proc)
+
+    # ------------------------------------------------------------------
+    # remote request service
+    # ------------------------------------------------------------------
+
+    def serve(self, proc: Processor, request: Request) -> Generator:
+        if request.kind != PAGE_FETCH:
+            raise RuntimeError(f"cashmere cannot serve {request.kind!r}")
+        page = request.payload
+        # Reading the cold page from memory is the first of the two bus
+        # passes; the messenger charges the transmit-region write.
+        yield from proc.busy(
+            0.5 * self.costs.memcpy_cost(self.space.page_size),
+            Category.PROTOCOL,
+        )
+        snapshot = self._master_page(page).copy()
+        yield from self.messenger.reply(
+            proc, request, payload=snapshot, size=self.space.page_size
+        )
+
+    # ------------------------------------------------------------------
+    # cost modelling
+    # ------------------------------------------------------------------
+
+    def compute_factors(self, ws: WorkingSet):
+        if self.cfg.write_double_dummy:
+            # The paper's diagnostic: double every write to one local
+            # dummy address, removing the cache-footprint effect while
+            # keeping the doubled-instruction overhead.
+            extra_l1 = extra_l2 = 0
+        else:
+            extra_l1, extra_l2 = ws.doubled, ws.doubled_l2
+        user = self.cache.total_factor(ws)
+        total = self.cache.total_factor(ws, extra_l1, extra_l2)
+        return user, total, Category.WDOUBLE
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def _perm_entries(self, pid: int):
+        return (
+            (page, entry.perm) for page, entry in self.entries[pid].items()
+        )
+
+    def check_invariants(self) -> None:
+        self.directory.check()
+        self.check_perm_bitmaps()
+        for pid, table in self.entries.items():
+            for page, entry in table.items():
+                dir_entry = self.directory.entry(page)
+                if entry.perm is not Protection.NONE:
+                    if pid not in dir_entry.sharers:
+                        raise AssertionError(
+                            f"p{pid} maps page {page} but is not a sharer"
+                        )
+                if entry.perm is Protection.READ_WRITE:
+                    holder = dir_entry.exclusive_holder
+                    if holder is not None and holder != pid:
+                        raise AssertionError(
+                            f"page {page}: p{pid} writable while exclusive "
+                            f"to p{holder}"
+                        )

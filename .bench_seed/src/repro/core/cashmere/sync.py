@@ -1,0 +1,169 @@
+"""Cashmere synchronization primitives over Memory Channel remote writes.
+
+Locks are an array of per-node words in MC space plus a local
+test-and-set flag (Section 3.3.2): ~11 us uncontended.  Barriers are
+tree-based with notifications posted through explicit MC words.  Flags
+are single MC words observed via broadcast.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.config import CostModel
+from repro.cluster.machine import Processor
+from repro.cluster.network import MemoryChannel
+from repro.sim import Engine, Event
+from repro.stats import Category
+
+
+class McLock:
+    """An MC-array lock: deterministic FIFO grant among spinners."""
+
+    def __init__(self, engine: Engine, network: MemoryChannel, costs: CostModel):
+        self.engine = engine
+        self.network = network
+        self.costs = costs
+        self.holder: Optional[int] = None
+        self.waiters: Deque[Tuple[Processor, Event]] = deque()
+
+    def acquire(self, proc: Processor):
+        # Setting the array entry, waiting for loop-back, and reading the
+        # whole array costs ~11 us even without contention.
+        yield from proc.busy(self.costs.lock_mc, Category.PROTOCOL)
+        self.network.write(proc.node.nid, 8)
+        if self.holder is None:
+            self.holder = proc.pid
+            return
+        granted = self.engine.event()
+        self.waiters.append((proc, granted))
+        yield from proc.wait(granted, Category.COMM_WAIT)
+        # Observing the grant and re-checking the array costs one more
+        # round of the acquire sequence (the releaser reserved the lock
+        # for us, so self.holder is already set).
+        yield from proc.busy(self.costs.lock_mc, Category.PROTOCOL)
+        assert self.holder == proc.pid
+
+    def release(self, proc: Processor):
+        if self.holder != proc.pid:
+            raise RuntimeError(
+                f"p{proc.pid} releasing lock held by {self.holder}"
+            )
+        self.network.write(proc.node.nid, 8)
+        yield from proc.busy(2.0, Category.PROTOCOL)  # clear array entry
+        if self.waiters:
+            nxt_proc, granted = self.waiters.popleft()
+            self.holder = nxt_proc.pid  # reserve: no barging past waiters
+            visible = self.engine.now + self.costs.mc_latency
+            self.engine.call_at(visible, lambda: granted.succeed())
+        else:
+            self.holder = None
+
+
+class TreeBarrier:
+    """Tree barrier: children notify parents, root broadcasts release."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: MemoryChannel,
+        costs: CostModel,
+        nprocs: int,
+    ):
+        self.engine = engine
+        self.network = network
+        self.costs = costs
+        self.nprocs = nprocs
+        self._arrived = 0
+        self._release: Event = engine.event()
+        self._episode = 0
+
+    def arrive_and_wait(self, proc: Processor):
+        episode = self._episode
+        release = self._release
+        self._arrived += 1
+        # Posting the arrival word to the parent.
+        self.network.write(proc.node.nid, 8)
+        yield from proc.busy(2.0, Category.PROTOCOL)
+        if self._arrived == self.nprocs:
+            # Last arrival: notifications percolate up the tree (each
+            # parent spins on its children's arrival words, costing a
+            # round of MC latency plus the flag checks per level), then
+            # the root's release word is broadcast back down.
+            depth = max(1, math.ceil(math.log2(max(self.nprocs, 2))))
+            per_level = 2.0 * (self.costs.mc_latency + 1.0) + 8.0
+            fan_in = depth * per_level
+            fan_out = self.costs.mc_latency + 2.0
+            done_at = self.engine.now + fan_in + fan_out
+            self._arrived = 0
+            self._episode += 1
+            self._release = self.engine.event()
+            self.engine.call_at(done_at, lambda: release.succeed())
+        yield from proc.wait(release, Category.COMM_WAIT)
+        assert self._episode > episode
+
+
+class McFlag:
+    """A one-shot flag: an MC word written once, spun on locally."""
+
+    def __init__(self, engine: Engine, network: MemoryChannel, costs: CostModel):
+        self.engine = engine
+        self.network = network
+        self.costs = costs
+        self.event: Event = engine.event()
+
+    def post(self, proc: Processor):
+        visible = self.network.write(proc.node.nid, 8, broadcast=True)
+        yield from proc.busy(1.0, Category.PROTOCOL)
+        event = self.event
+        if not event.triggered:
+            self.engine.call_at(
+                max(visible, self.engine.now), lambda: event.succeed()
+            )
+
+    def wait(self, proc: Processor):
+        yield from proc.wait(self.event, Category.COMM_WAIT)
+
+
+class SyncTable:
+    """Lazily created locks, barriers, and flags keyed by id."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        network: MemoryChannel,
+        costs: CostModel,
+        nprocs: int,
+    ):
+        self.engine = engine
+        self.network = network
+        self.costs = costs
+        self.nprocs = nprocs
+        self.locks: Dict[int, McLock] = {}
+        self.barriers: Dict[int, TreeBarrier] = {}
+        self.flags: Dict[int, McFlag] = {}
+
+    def lock(self, lock_id: int) -> McLock:
+        found = self.locks.get(lock_id)
+        if found is None:
+            found = McLock(self.engine, self.network, self.costs)
+            self.locks[lock_id] = found
+        return found
+
+    def barrier(self, barrier_id: int) -> TreeBarrier:
+        found = self.barriers.get(barrier_id)
+        if found is None:
+            found = TreeBarrier(
+                self.engine, self.network, self.costs, self.nprocs
+            )
+            self.barriers[barrier_id] = found
+        return found
+
+    def flag(self, flag_id: int) -> McFlag:
+        found = self.flags.get(flag_id)
+        if found is None:
+            found = McFlag(self.engine, self.network, self.costs)
+            self.flags[flag_id] = found
+        return found

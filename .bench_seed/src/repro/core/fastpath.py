@@ -1,0 +1,179 @@
+"""Vectorized permission bitmaps: the zero-cost hit path for shared access.
+
+On the paper's hardware a shared access to an already-mapped page costs
+nothing — the Alpha MMU only traps on actual protection faults.  The
+simulation used to pay a Python generator trampoline per page on every
+access anyway.  This module provides the data structure that removes
+that overhead: per-processor boolean bitmaps mirroring each protocol's
+per-page :class:`~repro.memory.page.Protection` state, so the
+already-mapped case is one vectorized slice check instead of a chain of
+generators.
+
+The bitmaps are *redundant* state: the per-page ``perm`` fields remain
+authoritative, and every protocol updates the bitmaps at every
+transition (fault upgrades, invalidations, release/barrier downgrades).
+``check_invariants`` on each protocol asserts the two never disagree;
+``tests/test_fastpath_invariants.py`` drives that assertion through
+fault/invalidate/downgrade sequences for all three protocols.
+
+Escape hatch: setting ``REPRO_DSM_NO_FASTPATH=1`` in the environment
+disables the fast path entirely and restores the per-page generator
+loop.  Simulated times, counters, and traces are bit-identical either
+way (locked in by ``tests/test_engine_equivalence.py``); only wall
+clock differs.
+
+When ``REPRO_DSM_DEBUG=1``, the runtime additionally re-checks
+bitmap/perm coherence at every barrier (see ``Env.barrier``), so a
+drifting transition is caught at the first synchronization point after
+it happens instead of at the end of the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.memory.page import Protection
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+#: module-level switches; read from the environment once at import (the
+#: parallel harness's worker processes inherit the environment, so the
+#: escape hatch applies uniformly).  Tests flip these directly.
+ENABLED = not _env_flag("REPRO_DSM_NO_FASTPATH")
+DEBUG = _env_flag("REPRO_DSM_DEBUG")
+
+
+def set_enabled(flag: bool) -> None:
+    """Toggle the fast path in-process (benchmarks and tests)."""
+    global ENABLED
+    ENABLED = bool(flag)
+
+
+def refresh_from_env() -> None:
+    """Re-read both switches from the environment."""
+    global ENABLED, DEBUG
+    ENABLED = not _env_flag("REPRO_DSM_NO_FASTPATH")
+    DEBUG = _env_flag("REPRO_DSM_DEBUG")
+
+
+class PermBitmaps:
+    """Per-processor readable/writable page bitmaps.
+
+    ``readable[pid, page]`` / ``writable[pid, page]`` mirror
+    ``Protection.allows_read()`` / ``allows_write()`` of that
+    processor's mapping.  Rows grow on demand (unit tests allocate
+    regions after protocol construction); in a normal run the address
+    space is fully allocated before the protocol exists, so the arrays
+    are sized once.
+    """
+
+    def __init__(self, nprocs: int, n_pages: int = 0):
+        self.nprocs = nprocs
+        self._cap = max(1, int(n_pages))
+        self.readable = np.zeros((nprocs, self._cap), bool)
+        self.writable = np.zeros((nprocs, self._cap), bool)
+        self._make_row_views()
+
+    def _make_row_views(self) -> None:
+        # Per-processor row views, indexable by a plain list lookup: the
+        # hit path probes these directly, skipping 2-D indexing.  They
+        # alias the 2-D arrays, so ``set`` updates are visible in both.
+        self.r_rows = list(self.readable)
+        self.w_rows = list(self.writable)
+
+    def _grow(self, needed: int) -> None:
+        cap = max(needed, 2 * self._cap)
+        readable = np.zeros((self.nprocs, cap), bool)
+        writable = np.zeros((self.nprocs, cap), bool)
+        readable[:, : self._cap] = self.readable
+        writable[:, : self._cap] = self.writable
+        self.readable, self.writable, self._cap = readable, writable, cap
+        self._make_row_views()
+
+    def ensure_cap(self, needed: int) -> None:
+        """Public grow hook for hit paths that probe the row views."""
+        if needed > self._cap:
+            self._grow(needed)
+
+    # -- updates (called at every permission transition) ---------------
+
+    def set(self, pid: int, page: int, perm: Protection) -> None:
+        if page >= self._cap:
+            self._grow(page + 1)
+        self.readable[pid, page] = perm >= Protection.READ
+        self.writable[pid, page] = perm >= Protection.READ_WRITE
+
+    # -- queries (the vectorized hit-path check) ------------------------
+
+    # Short spans are checked with scalar indexing: numpy's ufunc
+    # dispatch for ``.all()`` costs ~1us regardless of length, while a
+    # scalar probe is ~40ns, so the crossover sits well above the page
+    # counts typical of a row access.
+
+    def read_ready(self, pid: int, lo: int, hi: int) -> bool:
+        """True iff every page in ``[lo, hi)`` is readable at ``pid``."""
+        if hi > self._cap:
+            self._grow(hi)
+        row = self.readable[pid]
+        if hi - lo <= 16:
+            for page in range(lo, hi):
+                if not row[page]:
+                    return False
+            return True
+        return bool(row[lo:hi].all())
+
+    def write_ready(self, pid: int, lo: int, hi: int) -> bool:
+        """True iff every page in ``[lo, hi)`` is writable at ``pid``."""
+        if hi > self._cap:
+            self._grow(hi)
+        row = self.writable[pid]
+        if hi - lo <= 16:
+            for page in range(lo, hi):
+                if not row[page]:
+                    return False
+            return True
+        return bool(row[lo:hi].all())
+
+    def readable_at(self, pid: int, page: int) -> bool:
+        if page >= self._cap:
+            self._grow(page + 1)
+        return bool(self.readable[pid, page])
+
+    def writable_at(self, pid: int, page: int) -> bool:
+        if page >= self._cap:
+            self._grow(page + 1)
+        return bool(self.writable[pid, page])
+
+    # -- coherence checking ---------------------------------------------
+
+    def expect(self, pid: int, pairs) -> None:
+        """Assert this row matches an authoritative ``(page, perm)``
+        iterable (everything not listed must be ``Protection.NONE``)."""
+        expect_r = np.zeros(self._cap, bool)
+        expect_w = np.zeros(self._cap, bool)
+        for page, perm in pairs:
+            if page < self._cap:
+                expect_r[page] = perm >= Protection.READ
+                expect_w[page] = perm >= Protection.READ_WRITE
+            elif perm is not Protection.NONE:
+                raise AssertionError(
+                    f"p{pid}: page {page} has {perm.name} beyond bitmap "
+                    f"capacity {self._cap}"
+                )
+        for name, bitmap, expect in (
+            ("readable", self.readable[pid], expect_r),
+            ("writable", self.writable[pid], expect_w),
+        ):
+            bad = np.flatnonzero(bitmap != expect)
+            if bad.size:
+                page = int(bad[0])
+                raise AssertionError(
+                    f"p{pid}: {name} bitmap disagrees with perm state at "
+                    f"page {page} (bitmap={bool(bitmap[page])}, "
+                    f"perm says {bool(expect[page])})"
+                )

@@ -1,0 +1,7 @@
+"""Home-based lazy release consistency (HLRC) — the natural hybrid of
+the paper's two systems, studied as follow-on work to both (Zhou, Iftode
+& Li, OSDI 1996; the Cashmere lineage converged on similar designs)."""
+
+from repro.core.hlrc.protocol import HlrcProtocol
+
+__all__ = ["HlrcProtocol"]

@@ -1,0 +1,405 @@
+"""Home-based lazy release consistency (HLRC).
+
+The protocol the field converged on shortly after the paper, and the
+natural midpoint between its two systems:
+
+* Consistency is TreadMarks' lazy release consistency: vector
+  timestamps, interval records, and write notices travel with lock
+  grants and barrier exchanges; noticed pages are invalidated at
+  acquires (all inherited from :class:`repro.core.lrc.LrcProtocolBase`).
+* Data movement is Cashmere-like: every page has a *home*.  Writers
+  twin the page, and at each release eagerly diff it and send the diff
+  to the home, which applies it at once (the release completes only
+  after the home acknowledges).  Twins and diffs are then discarded —
+  no diff accumulation, no garbage-collection pressure.
+* Readers validate an invalid page with a single whole-page fetch from
+  the home, which is guaranteed current for everything in the reader's
+  causal past.
+
+Compared over the paper's axes: HLRC keeps TreadMarks' "communicate
+only at synchronization" laziness but gains Cashmere's one-message page
+validation and multi-writer merging at a home — at the cost of
+whole-page reads and eager diff traffic on every release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.cluster.machine import Processor
+from repro.cluster.messaging import Request
+from repro.core.lrc import LrcProcState, LrcProtocolBase
+from repro.core.intervals import IntervalStore
+from repro.memory.diff import apply_diff, make_diff
+from repro.memory.page import Protection
+from repro.stats import Category
+
+PAGE_FETCH = "hlrc_page_fetch"
+DIFF_TO_HOME = "hlrc_diff_to_home"
+
+
+@dataclass
+class HlrcPage:
+    """One processor's view of one page (far simpler than TreadMarks':
+    no pending lists, no diff bookkeeping — the home holds the truth)."""
+
+    perm: Protection = Protection.NONE
+    copy: Optional[np.ndarray] = None
+    twin: Optional[np.ndarray] = None
+
+
+@dataclass
+class ProcState(LrcProcState):
+    """HLRC per-processor protocol state."""
+
+    pages: Dict[int, HlrcPage] = field(default_factory=dict)
+
+    def page(self, page_idx: int) -> HlrcPage:
+        found = self.pages.get(page_idx)
+        if found is None:
+            found = HlrcPage()
+            self.pages[page_idx] = found
+        return found
+
+
+class HlrcProtocol(LrcProtocolBase):
+    """LRC invalidation with eager diffs to per-page homes."""
+
+    # Writes touch the local copy only (diffs move eagerly at release,
+    # not per write), so hot write spans qualify for the zero-cost
+    # scatter path.
+    free_writes = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # The authoritative home copies (the home processor's ``copy``
+        # aliases these).
+        self.home_pages: Dict[int, np.ndarray] = {}
+        # Home assignments; with ``first_touch_homes`` (the default) a
+        # page's first faulting processor becomes its home, exactly the
+        # placement lesson Cashmere taught (Section 2.1) and the HLRC
+        # systems adopted.
+        self.homes: Dict[int, int] = {}
+
+    def _make_proc_state(self) -> ProcState:
+        return ProcState(
+            vts=[0] * self.cluster.nprocs,
+            store=IntervalStore(self.cluster.nprocs),
+        )
+
+    def _home_of(self, page_idx: int):
+        """The page's home processor, or None if not yet assigned."""
+        return self.homes.get(page_idx)
+
+    def _assign_home(self, proc: Processor, page_idx: int) -> Generator:
+        """First-touch (or round-robin) home assignment, broadcast like
+        a Cashmere directory update."""
+        if page_idx in self.homes:
+            return
+        if self.cfg.first_touch_homes:
+            home = proc.pid
+        else:
+            home = page_idx % self.nprocs
+        self.homes[page_idx] = home
+        self.trace(proc, "home_assigned", page=page_idx, home=home)
+        yield from proc.busy(self.costs.dir_modify_locked, Category.PROTOCOL)
+        self.network.write(proc.node.nid, 8, broadcast=True)
+        home_state = self.procs[home]
+        home_page = home_state.page(page_idx)
+        if home_page.copy is not None:
+            # Adopt the home's existing (possibly warm) copy as the
+            # authoritative one.
+            self.home_pages[page_idx] = home_page.copy
+        else:
+            self.home_pages[page_idx] = self.space.backing_page(
+                page_idx
+            ).copy()
+            home_page.copy = self.home_pages[page_idx]
+
+    def _home_page(self, page_idx: int) -> np.ndarray:
+        data = self.home_pages.get(page_idx)
+        if data is None:
+            data = self.space.backing_page(page_idx).copy()
+            self.home_pages[page_idx] = data
+        return data
+
+    # ------------------------------------------------------------------
+    # faults and data access
+    # ------------------------------------------------------------------
+
+    def ensure_read(self, proc: Processor, page_idx: int) -> Generator:
+        state = self._state(proc)
+        page = state.page(page_idx)
+        if page.perm.allows_read():
+            return
+        proc.bump("read_faults")
+        self.trace(proc, "read_fault", page=page_idx)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        yield from self._assign_home(proc, page_idx)
+        yield from self._validate_page(proc, page_idx, page)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
+        state = self._state(proc)
+        page = state.page(page_idx)
+        if page.perm.allows_write():
+            return
+        proc.bump("write_faults")
+        self.trace(proc, "write_fault", page=page_idx)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        yield from self._assign_home(proc, page_idx)
+        if not page.perm.allows_read():
+            yield from self._validate_page(proc, page_idx, page)
+        is_home = self._home_of(page_idx) == proc.pid
+        if not is_home and page.twin is None:
+            # The home writes its copy in place; everyone else twins so
+            # the release can diff.
+            page.twin = page.copy.copy()
+            proc.bump("twins_created")
+            self.trace(proc, "twin", page=page_idx)
+            yield from proc.busy(
+                self.costs.twin_cost(self.space.page_size), Category.PROTOCOL
+            )
+        state.notices.add(page_idx)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:
+        page = self._state(proc).page(page_idx)
+        if not page.perm.allows_read() or page.copy is None:
+            raise RuntimeError(
+                f"p{proc.pid} touched page {page_idx} without a mapping"
+            )
+        return page.copy
+
+    def apply_write(
+        self, proc: Processor, page_idx: int, start: int, raw: np.ndarray
+    ) -> Generator:
+        page = self._state(proc).page(page_idx)
+        if not page.perm.allows_write():
+            raise RuntimeError(
+                f"p{proc.pid} wrote page {page_idx} without permission"
+            )
+        page.copy[start : start + len(raw)] = raw
+        return
+        yield  # pragma: no cover - writes are local; diffs move at release
+
+    def _validate_page(
+        self, proc: Processor, page_idx: int, page: HlrcPage
+    ) -> Generator:
+        """One whole-page fetch from the home (or a local bind)."""
+        home = self._home_of(page_idx)
+        if home == proc.pid:
+            page.copy = self._home_page(page_idx)  # alias, like Cashmere
+            return
+        # If we hold unflushed writes (a twin from the open interval),
+        # they must survive the refetch: extract them first and merge
+        # them over the fresh snapshot.
+        own_diff = None
+        if page.twin is not None:
+            own_diff = make_diff(page.twin, page.copy)
+            yield from proc.busy(
+                self.costs.diff_cost(
+                    self.space.page_size,
+                    own_diff.dirty_bytes / self.space.page_size,
+                ),
+                Category.PROTOCOL,
+            )
+        snapshot = yield from self.messenger.request(
+            proc,
+            self.cluster.proc(home),
+            PAGE_FETCH,
+            payload=page_idx,
+            size=8,
+        )
+        yield from proc.busy(
+            self.costs.memcpy_cost(self.space.page_size), Category.PROTOCOL
+        )
+        if page.copy is None:
+            page.copy = snapshot.copy()
+        else:
+            page.copy[:] = snapshot
+        if own_diff is not None:
+            # The twin becomes the fresh base, so the next release still
+            # diffs out exactly our own words.
+            page.twin = snapshot.copy()
+            apply_diff(page.copy, own_diff)
+        proc.bump("page_fetches")
+        self.trace(proc, "page_fetch", page=page_idx, home=home)
+
+    # ------------------------------------------------------------------
+    # eager diff propagation (release side)
+    # ------------------------------------------------------------------
+
+    def _on_lock_release(self, proc: Processor) -> Generator:
+        yield from self._close_interval(proc)
+
+    def _on_interval_closed(self, proc: Processor, pages) -> Generator:
+        """Diff every written page and push the diffs to their homes;
+        the release completes once every home has acknowledged."""
+        state = self._state(proc)
+        outstanding = []
+        for page_idx in pages:
+            home = self._home_of(page_idx)
+            page = state.page(page_idx)
+            if home == proc.pid:
+                # The home wrote its copy in place — nothing to flush —
+                # but it must still re-protect, so that next interval's
+                # writes fault and raise fresh notices.
+                if page.perm is Protection.READ_WRITE:
+                    self._set_perm(proc.pid, page_idx, page, Protection.READ)
+                    yield from proc.busy(
+                        self.costs.mprotect, Category.PROTOCOL
+                    )
+                continue
+            if page.twin is None:
+                continue  # already flushed (multiple releases, no writes)
+            diff = make_diff(page.twin, page.copy)
+            dirty_fraction = diff.dirty_bytes / self.space.page_size
+            yield from proc.busy(
+                self.costs.diff_cost(self.space.page_size, dirty_fraction),
+                Category.PROTOCOL,
+            )
+            page.twin = None
+            proc.bump("diffs_created")
+            self.trace(
+                proc, "diff_to_home", page=page_idx, bytes=diff.dirty_bytes
+            )
+            # Re-protect so the next interval's writes re-twin and raise
+            # fresh notices.
+            if page.perm is Protection.READ_WRITE:
+                self._set_perm(proc.pid, page_idx, page, Protection.READ)
+                yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+            request = yield from self.messenger.post_request(
+                proc,
+                self.cluster.proc(home),
+                DIFF_TO_HOME,
+                payload=(page_idx, diff),
+                size=diff.encoded_size + 16,
+            )
+            outstanding.append(request)
+        if outstanding:
+            t0 = self.engine.now
+            for request in outstanding:
+                yield from proc.wait(request.reply_event)
+            self.trace(
+                proc,
+                "diff_flush_wait",
+                dur=self.engine.now - t0,
+                diffs=len(outstanding),
+            )
+
+    # ------------------------------------------------------------------
+    # base-class hooks
+    # ------------------------------------------------------------------
+
+    def _note_remote_write(
+        self, proc: Processor, writer: int, iid: int, page_idx: int
+    ) -> Generator:
+        if self._home_of(page_idx) == proc.pid:
+            return  # the home copy is always current
+        state = self._state(proc)
+        page = state.pages.get(page_idx)
+        if page is None or page.perm is Protection.NONE:
+            return
+        self._set_perm(proc.pid, page_idx, page, Protection.NONE)
+        self.trace(proc, "invalidate", page=page_idx)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _serve_data(self, proc: Processor, request: Request) -> Generator:
+        if request.kind == PAGE_FETCH:
+            yield from self._serve_page_fetch(proc, request)
+        elif request.kind == DIFF_TO_HOME:
+            yield from self._serve_diff_to_home(proc, request)
+        else:
+            raise RuntimeError(f"hlrc cannot serve {request.kind!r}")
+
+    def _serve_page_fetch(self, proc: Processor, request: Request) -> Generator:
+        page_idx = request.payload
+        # Reading the cold page is the first bus pass (the messenger
+        # charges the transmit write).
+        yield from proc.busy(
+            0.5 * self.costs.memcpy_cost(self.space.page_size),
+            Category.PROTOCOL,
+        )
+        snapshot = self._home_page(page_idx)
+        yield from self.messenger.reply(
+            proc, request, payload=snapshot, size=self.space.page_size
+        )
+
+    def _serve_diff_to_home(
+        self, proc: Processor, request: Request
+    ) -> Generator:
+        page_idx, diff = request.payload
+        if self._home_of(page_idx) != proc.pid:
+            raise RuntimeError(
+                f"diff for page {page_idx} sent to non-home p{proc.pid}"
+            )
+        apply_cost = self.costs.diff_apply_base + (
+            self.costs.diff_apply_per_kb * diff.dirty_bytes / 1024.0
+        )
+        yield from proc.busy(apply_cost, Category.PROTOCOL)
+        apply_diff(self._home_page(page_idx), diff)
+        proc.bump("diffs_applied")
+        self.trace(proc, "diff_apply", page=page_idx)
+        # The home's own mapping (and twin, if it is mid-interval) must
+        # absorb the update too.
+        state = self._state(proc)
+        page = state.pages.get(page_idx)
+        if page is not None and page.twin is not None:
+            apply_diff(page.twin, diff)
+        yield from self.messenger.reply(proc, request, payload=True, size=8)
+
+    # ------------------------------------------------------------------
+    # garbage collection hooks
+    # ------------------------------------------------------------------
+
+    def _gc_flush_pages(self, proc: Processor) -> Generator:
+        # Homes are always current and readers refetch whole pages, so
+        # no page state depends on old interval records.
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # cost modelling / warm start
+    # ------------------------------------------------------------------
+
+    def compute_factors(self, ws: WorkingSet):
+        user = self.cache.total_factor(ws)
+        total = self.cache.total_factor(ws, ws.twin, ws.twin_l2)
+        return user, total, Category.PROTOCOL
+
+    def prewarm(self) -> None:
+        """Give every processor a valid read-only copy of every page.
+
+        Homes stay unassigned: the first post-warm *fault* (normally the
+        first write) picks the home, which makes first-touch placement
+        follow the writers."""
+        for pid, state in self.procs.items():
+            for page_idx in range(self.space.n_pages):
+                page = state.page(page_idx)
+                page.copy = self.space.backing_page(page_idx).copy()
+                self._set_perm(pid, page_idx, page, Protection.READ)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for pid, state in self.procs.items():
+            for page_idx, page in state.pages.items():
+                if (
+                    page.perm is Protection.READ_WRITE
+                    and page.twin is None
+                    and self._home_of(page_idx) != pid
+                ):
+                    raise AssertionError(
+                        f"p{pid}: non-home page {page_idx} writable "
+                        "without a twin"
+                    )

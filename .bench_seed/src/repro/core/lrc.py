@@ -1,0 +1,599 @@
+"""Shared machinery for lazy-release-consistency protocols.
+
+TreadMarks (``repro.core.treadmarks``) and home-based LRC
+(``repro.core.hlrc``) share everything about *when* consistency
+information moves — vector timestamps, interval records, write notices,
+distributed locks, a centralized barrier manager, owner-resident flags,
+and record garbage collection.  They differ in *how data* moves (lazy
+diffs vs. eager diffs to a home), which subclasses provide through the
+hooks at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RunConfig
+from repro.cluster.machine import Cluster, Processor
+from repro.cluster.messaging import Messenger, Request
+from repro.cluster.network import MemoryChannel
+from repro.cluster.cache import CacheModel
+from repro.core.base import DsmProtocol
+from repro.core.fastpath import PermBitmaps
+from repro.core.intervals import (
+    IntervalRecord,
+    IntervalStore,
+    vts_max,
+)
+from repro.memory.address_space import AddressSpace
+from repro.sim import Engine, Event
+from repro.stats import Category, StatsBoard
+
+LOCK_ACQUIRE = "lrc_lock_acquire"
+BARRIER_ARRIVE = "lrc_barrier_arrive"
+FLAG_WAIT = "lrc_flag_wait"
+
+# Garbage collection of consistency records triggers at the next barrier
+# once this many interval records have accumulated.
+GC_RECORD_THRESHOLD = 4096
+GC_BARRIER_ID = -0x6C  # reserved internal barrier for the flush round
+
+
+@dataclass
+class LockState:
+    """Per-processor view of one distributed lock."""
+
+    owns_token: bool = False
+    holding: bool = False
+    successor: Optional[Request] = None
+
+
+@dataclass
+class BarrierState:
+    """Arrival collection at the barrier manager."""
+
+    arrivals: List[Request] = field(default_factory=list)
+    complete: Optional[Event] = None
+
+
+@dataclass
+class FlagState:
+    """A one-shot flag at its owning processor."""
+
+    is_set: bool = False
+    waiters: List[Request] = field(default_factory=list)
+    local_event: Optional[Event] = None
+
+
+@dataclass
+class LrcProcState:
+    """Consistency state every LRC processor carries."""
+
+    vts: List[int]
+    store: IntervalStore
+    notices: set = field(default_factory=set)  # pages written this interval
+    locks: Dict[int, LockState] = field(default_factory=dict)
+    flags: Dict[int, FlagState] = field(default_factory=dict)
+    manager_guess: Optional[Tuple[int, ...]] = None
+
+    def lock(self, lock_id: int) -> LockState:
+        found = self.locks.get(lock_id)
+        if found is None:
+            found = LockState()
+            self.locks[lock_id] = found
+        return found
+
+    def flag(self, flag_id: int) -> FlagState:
+        found = self.flags.get(flag_id)
+        if found is None:
+            found = FlagState()
+            self.flags[flag_id] = found
+        return found
+
+
+class LrcProtocolBase(DsmProtocol):
+    """Interval/synchronization engine common to all LRC protocols."""
+
+    #: per-run GC threshold (subclasses or tests may override)
+    gc_record_threshold = GC_RECORD_THRESHOLD
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        network: MemoryChannel,
+        messenger: Messenger,
+        space: AddressSpace,
+        stats: StatsBoard,
+        run_cfg: RunConfig,
+    ):
+        self.engine = engine
+        self.cluster = cluster
+        self.network = network
+        self.messenger = messenger
+        self.space = space
+        self.stats = stats
+        self.cfg = run_cfg
+        self.costs = run_cfg.costs
+        self.cache = CacheModel(self.costs)
+        self.nprocs = cluster.nprocs
+        self.perms = PermBitmaps(cluster.nprocs, space.n_pages)
+        self.procs = {
+            p.pid: self._make_proc_state() for p in cluster.procs
+        }
+        self.lock_last_owner: Dict[int, int] = {}
+        self.barriers: Dict[int, BarrierState] = {}
+
+    # -- state construction (subclass hook) -----------------------------
+
+    def _make_proc_state(self) -> LrcProcState:
+        return LrcProcState(
+            vts=[0] * self.cluster.nprocs,
+            store=IntervalStore(self.cluster.nprocs),
+        )
+
+    # -- small helpers ---------------------------------------------------
+
+    def _state(self, proc: Processor):
+        return self.procs[proc.pid]
+
+    # -- hit path --------------------------------------------------------
+    #
+    # Specialized over the base implementations: a hot access goes
+    # straight to the per-processor page dict (two dict lookups and a
+    # slice) instead of through the ``page_data`` permission-checking
+    # chain — the bitmap has already vouched for the permissions.  Both
+    # LRC protocols write only the local copy on a hot write (diffs move
+    # at release), hence ``free_writes``.
+
+    free_writes = True
+
+    def fast_read(self, proc, space, offset, nbytes):
+        if nbytes == 0:
+            return np.empty(0, np.uint8)
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.r_rows[pid][lo]:
+                return None
+            return self.procs[pid].pages[lo].copy[
+                start : start + nbytes
+            ].copy()
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.r_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return None
+        pages = self.procs[pid].pages
+        out = np.empty(nbytes, np.uint8)
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            out[pos : pos + length] = pages[page].copy[
+                start : start + length
+            ]
+            pos += length
+            addr += length
+        return out
+
+    def fast_write(self, proc, space, offset, raw):
+        nbytes = raw.nbytes
+        if nbytes == 0:
+            return True
+        pid = proc.pid
+        ps = space.page_size
+        lo = offset // ps
+        start = offset - lo * ps
+        perms = self.perms
+        if start + nbytes <= ps:  # single page: the common case
+            perms.ensure_cap(lo + 1)
+            if not perms.w_rows[pid][lo]:
+                return False
+            self.procs[pid].pages[lo].copy[start : start + nbytes] = raw
+            return True
+        hi = (offset + nbytes - 1) // ps + 1
+        perms.ensure_cap(hi)
+        row = perms.w_rows[pid]
+        for page in range(lo, hi):
+            if not row[page]:
+                return False
+        pages = self.procs[pid].pages
+        end = offset + nbytes
+        pos = 0
+        addr = offset
+        for page in range(lo, hi):
+            start = addr - page * ps
+            length = min(ps - start, end - addr)
+            pages[page].copy[start : start + length] = raw[
+                pos : pos + length
+            ]
+            pos += length
+            addr += length
+        return True
+
+    def _lock_manager(self, lock_id: int) -> int:
+        return lock_id % self.nprocs
+
+    def _flag_owner(self, flag_id: int) -> int:
+        return flag_id % self.nprocs
+
+    def _records_size(self, records: List[IntervalRecord]) -> int:
+        per = self.costs
+        return sum(
+            r.encoded_size(
+                per.interval_record_bytes,
+                per.vts_entry_bytes,
+                per.write_notice_bytes,
+            )
+            for r in records
+        ) + per.vts_entry_bytes * self.nprocs
+
+    # -- intervals ---------------------------------------------------------
+
+    def _close_interval(self, proc: Processor) -> Generator:
+        """End the current interval if it performed any writes."""
+        state = self._state(proc)
+        if not state.notices:
+            return
+        iid = state.vts[proc.pid] + 1
+        state.vts[proc.pid] = iid
+        record = IntervalRecord(
+            proc=proc.pid,
+            iid=iid,
+            vts=tuple(state.vts),
+            pages=tuple(sorted(state.notices)),
+        )
+        state.store.insert(record)
+        self.trace(
+            proc, "interval_close", iid=iid, pages=len(record.pages)
+        )
+        pages, _ = record.pages, state.notices.clear()
+        yield from proc.busy(2.0, Category.PROTOCOL)  # bookkeeping
+        yield from self._on_interval_closed(proc, pages)
+
+    def _incorporate(
+        self, proc: Processor, records: List[IntervalRecord]
+    ) -> Generator:
+        """Merge received interval records; invalidate noticed pages."""
+        state = self._state(proc)
+        for record in records:
+            if not state.store.insert(record):
+                continue
+            yield from proc.busy(
+                self.costs.interval_process, Category.PROTOCOL
+            )
+            state.vts[record.proc] = max(state.vts[record.proc], record.iid)
+            for page_idx in record.pages:
+                yield from self._note_remote_write(
+                    proc, record.proc, record.iid, page_idx
+                )
+
+    # -- locks -------------------------------------------------------------
+
+    def _ensure_lock_init(self, lock_id: int) -> None:
+        """The manager starts out holding each lock's token."""
+        if lock_id not in self.lock_last_owner:
+            manager = self._lock_manager(lock_id)
+            self.lock_last_owner[lock_id] = manager
+            self.procs[manager].lock(lock_id).owns_token = True
+
+    def lock_acquire(self, proc: Processor, lock_id: int) -> Generator:
+        self._ensure_lock_init(lock_id)
+        state = self._state(proc)
+        lock = state.lock(lock_id)
+        manager = self._lock_manager(lock_id)
+        if lock.owns_token:
+            # Re-acquiring our own cached lock: no messages, no new
+            # consistency information.
+            lock.holding = True
+            return
+        if manager == proc.pid:
+            owner = self.lock_last_owner[lock_id]
+            self.lock_last_owner[lock_id] = proc.pid
+            target = self.cluster.proc(owner)
+        else:
+            target = self.cluster.proc(manager)
+        reply = yield from self.messenger.request(
+            proc,
+            target,
+            LOCK_ACQUIRE,
+            payload=(lock_id, tuple(state.vts)),
+            size=self.costs.vts_entry_bytes * self.nprocs,
+        )
+        records, owner_vts = reply
+        yield from self._incorporate(proc, records)
+        state.vts[:] = vts_max(state.vts, owner_vts)
+        lock.owns_token = True
+        lock.holding = True
+
+    def lock_release(self, proc: Processor, lock_id: int) -> Generator:
+        state = self._state(proc)
+        lock = state.lock(lock_id)
+        if not lock.holding:
+            raise RuntimeError(f"p{proc.pid} releasing unheld lock {lock_id}")
+        yield from self._on_lock_release(proc)
+        lock.holding = False
+        if lock.successor is not None:
+            successor, lock.successor = lock.successor, None
+            yield from self._grant_lock(proc, lock, successor)
+        return
+
+    def _grant_lock(
+        self, proc: Processor, lock: LockState, request: Request
+    ) -> Generator:
+        """Pass the lock token (and unseen intervals) to a requester."""
+        lock_id, requester_vts = request.payload
+        state = self._state(proc)
+        yield from self._close_interval(proc)
+        records = state.store.records_after(requester_vts)
+        self.trace(
+            proc,
+            "lock_grant",
+            lock=lock_id,
+            to=request.requester.pid,
+            records=len(records),
+        )
+        lock.owns_token = False
+        yield from self.messenger.reply(
+            proc,
+            request,
+            payload=(records, tuple(state.vts)),
+            size=self._records_size(records),
+        )
+
+    def _serve_lock_acquire(
+        self, proc: Processor, request: Request
+    ) -> Generator:
+        lock_id, _requester_vts = request.payload
+        self._ensure_lock_init(lock_id)
+        if (
+            proc.pid == self._lock_manager(lock_id)
+            and self.lock_last_owner[lock_id] != proc.pid
+        ):
+            owner = self.lock_last_owner[lock_id]
+            self.lock_last_owner[lock_id] = request.requester.pid
+            yield from self.messenger.forward(
+                proc, self.cluster.proc(owner), request
+            )
+            return
+        if proc.pid == self._lock_manager(lock_id):
+            self.lock_last_owner[lock_id] = request.requester.pid
+        state = self._state(proc)
+        lock = state.lock(lock_id)
+        if lock.successor is not None:
+            raise RuntimeError(
+                f"lock {lock_id}: two successors queued at p{proc.pid}"
+            )
+        if lock.owns_token and not lock.holding:
+            yield from self._grant_lock(proc, lock, request)
+        else:
+            lock.successor = request
+
+    # -- barriers ------------------------------------------------------------
+
+    def _barrier_state(self, barrier_id: int) -> BarrierState:
+        found = self.barriers.get(barrier_id)
+        if found is None:
+            found = BarrierState(complete=self.engine.event())
+            self.barriers[barrier_id] = found
+        return found
+
+    def barrier(self, proc: Processor, barrier_id: int) -> Generator:
+        yield from self._close_interval(proc)
+        self.trace(proc, "barrier_arrive", barrier=barrier_id)
+        if self.nprocs == 1:
+            state = self._state(proc)
+            if state.store.record_count() > self.gc_record_threshold:
+                yield from self._gc_flush(proc)
+            return
+        state = self._state(proc)
+        if proc.pid == 0:
+            gc_round = yield from self._barrier_manager(proc, barrier_id)
+        else:
+            guess = state.manager_guess or (0,) * self.nprocs
+            records = state.store.records_after(guess)
+            reply = yield from self.messenger.request(
+                proc,
+                self.cluster.proc(0),
+                BARRIER_ARRIVE,
+                payload=(barrier_id, tuple(state.vts), records),
+                size=self._records_size(records),
+            )
+            new_records, merged_vts, gc_round = reply
+            yield from self._incorporate(proc, new_records)
+            state.vts[:] = vts_max(state.vts, merged_vts)
+            state.manager_guess = merged_vts
+        if gc_round and barrier_id != GC_BARRIER_ID:
+            yield from self._gc_flush(proc)
+
+    def _barrier_manager(self, proc: Processor, barrier_id: int) -> Generator:
+        state = self._state(proc)
+        barrier = self._barrier_state(barrier_id)
+        yield from proc.wait(barrier.complete, Category.COMM_WAIT)
+        arrivals = barrier.arrivals
+        # Reset before replying: released processors may re-arrive.
+        self.barriers[barrier_id] = BarrierState(complete=self.engine.event())
+        for request in arrivals:
+            _bid, _vts, records = request.payload
+            yield from self._incorporate(proc, records)
+        merged = tuple(state.vts)
+        gc_round = (
+            barrier_id != GC_BARRIER_ID
+            and state.store.record_count() > self.gc_record_threshold
+        )
+        for request in arrivals:
+            _bid, arriver_vts, _records = request.payload
+            records = state.store.records_after(arriver_vts)
+            yield from self.messenger.reply(
+                proc,
+                request,
+                payload=(records, merged, gc_round),
+                size=self._records_size(records),
+            )
+        return gc_round
+
+    def _serve_barrier_arrive(self, proc: Processor, request: Request) -> None:
+        barrier_id, _vts, _records = request.payload
+        barrier = self._barrier_state(barrier_id)
+        barrier.arrivals.append(request)
+        if len(barrier.arrivals) == self.nprocs - 1:
+            barrier.complete.succeed()
+
+    # -- flags ------------------------------------------------------------------
+
+    def flag_set(self, proc: Processor, flag_id: int) -> Generator:
+        state = self._state(proc)
+        if self._flag_owner(flag_id) != proc.pid:
+            raise RuntimeError(
+                f"flag {flag_id} must be set by its owner "
+                f"p{self._flag_owner(flag_id)}, not p{proc.pid}"
+            )
+        yield from self._close_interval(proc)
+        flag = state.flag(flag_id)
+        flag.is_set = True
+        if flag.local_event is not None and not flag.local_event.triggered:
+            flag.local_event.succeed()
+        waiters, flag.waiters = flag.waiters, []
+        for request in waiters:
+            _fid, waiter_vts = request.payload
+            records = state.store.records_after(waiter_vts)
+            yield from self.messenger.reply(
+                proc,
+                request,
+                payload=(records, tuple(state.vts)),
+                size=self._records_size(records),
+            )
+
+    def flag_wait(self, proc: Processor, flag_id: int) -> Generator:
+        state = self._state(proc)
+        owner = self._flag_owner(flag_id)
+        if owner == proc.pid:
+            flag = state.flag(flag_id)
+            if not flag.is_set:
+                if flag.local_event is None:
+                    flag.local_event = self.engine.event()
+                yield from proc.wait(flag.local_event, Category.COMM_WAIT)
+            return
+        reply = yield from self.messenger.request(
+            proc,
+            self.cluster.proc(owner),
+            FLAG_WAIT,
+            payload=(flag_id, tuple(state.vts)),
+            size=self.costs.vts_entry_bytes * self.nprocs,
+        )
+        records, owner_vts = reply
+        yield from self._incorporate(proc, records)
+        state.vts[:] = vts_max(state.vts, owner_vts)
+
+    def _serve_flag_wait(self, proc: Processor, request: Request) -> Generator:
+        flag_id, waiter_vts = request.payload
+        state = self._state(proc)
+        flag = state.flag(flag_id)
+        if flag.is_set:
+            records = state.store.records_after(waiter_vts)
+            yield from self.messenger.reply(
+                proc,
+                request,
+                payload=(records, tuple(state.vts)),
+                size=self._records_size(records),
+            )
+        else:
+            flag.waiters.append(request)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def _gc_flush(self, proc: Processor) -> Generator:
+        """Collect interval records once every processor has flushed
+        whatever page state depends on them (subclass hook)."""
+        state = self._state(proc)
+        proc.bump("gc_rounds")
+        self.trace(proc, "gc_flush")
+        yield from self._gc_flush_pages(proc)
+        if self.nprocs > 1:
+            # A full synchronization round guarantees every outstanding
+            # data request has been served before records are dropped.
+            yield from self.barrier(proc, GC_BARRIER_ID)
+        state.store.collect(state.vts)
+        yield from self._gc_drop_caches(proc)
+
+    # -- request dispatch --------------------------------------------------------
+
+    def serve(self, proc: Processor, request: Request) -> Generator:
+        if request.kind == LOCK_ACQUIRE:
+            yield from self._serve_lock_acquire(proc, request)
+        elif request.kind == BARRIER_ARRIVE:
+            self._serve_barrier_arrive(proc, request)
+        elif request.kind == FLAG_WAIT:
+            yield from self._serve_flag_wait(proc, request)
+        else:
+            yield from self._serve_data(proc, request)
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def _on_lock_release(self, proc: Processor) -> Generator:
+        """Release-side processing for locks.  TreadMarks is fully lazy
+        (the interval closes only when the token is granted); home-based
+        LRC closes the interval here to push diffs home eagerly."""
+        return
+        yield  # pragma: no cover
+
+    def _on_interval_closed(self, proc: Processor, pages) -> Generator:
+        """Called after an interval closes, with its written pages."""
+        return
+        yield  # pragma: no cover
+
+    def _note_remote_write(
+        self, proc: Processor, writer: int, iid: int, page_idx: int
+    ) -> Generator:
+        """A write notice for ``page_idx`` entered ``proc``'s past."""
+        raise NotImplementedError
+
+    def _serve_data(self, proc: Processor, request: Request) -> Generator:
+        """Handle the data-movement request kinds of the subclass."""
+        raise NotImplementedError
+
+    def _gc_flush_pages(self, proc: Processor) -> Generator:
+        """Bring page state up to date so records can be dropped."""
+        return
+        yield  # pragma: no cover
+
+    def _gc_drop_caches(self, proc: Processor) -> Generator:
+        """Drop collected data (diff caches etc.)."""
+        return
+        yield  # pragma: no cover
+
+    # -- invariants -----------------------------------------------------------------
+
+    def _perm_entries(self, pid: int):
+        pages = getattr(self.procs[pid], "pages", None)
+        if pages is None:
+            return ()
+        return ((page_idx, page.perm) for page_idx, page in pages.items())
+
+    def check_invariants(self) -> None:
+        self.check_perm_bitmaps()
+        for pid, state in self.procs.items():
+            for other in range(self.nprocs):
+                latest = state.store.latest(other)
+                if other == pid:
+                    if latest != state.vts[pid]:
+                        raise AssertionError(
+                            f"p{pid}: own interval chain at {latest} but "
+                            f"vts says {state.vts[pid]}"
+                        )
+                elif state.vts[other] != latest:
+                    raise AssertionError(
+                        f"p{pid}: vts[{other}]={state.vts[other]} but "
+                        f"store knows {latest}"
+                    )

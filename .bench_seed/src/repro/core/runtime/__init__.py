@@ -1,0 +1,20 @@
+"""The DSM runtime: shared arrays, the per-worker environment, and the
+SPMD program runner."""
+
+from repro.core.runtime.shared import SharedArray
+from repro.core.runtime.env import Env
+from repro.core.runtime.program import (
+    Program,
+    RunResult,
+    run_program,
+    run_sequential,
+)
+
+__all__ = [
+    "Env",
+    "Program",
+    "RunResult",
+    "SharedArray",
+    "run_program",
+    "run_sequential",
+]

@@ -1,0 +1,257 @@
+"""Typed views over the shared address space.
+
+A :class:`SharedArray` is how application code touches shared memory.
+Block reads and writes take exactly the read/write faults a hardware
+MMU would deliver, then move real bytes through the protocol's page
+copies.
+
+Accesses whose pages are all already mapped — the overwhelmingly common
+case, and one that costs *nothing* on the paper's hardware — are
+resolved by one vectorized permission-bitmap check and a direct
+gather/scatter, entering no protocol generator at all.  Cold spans fall
+into the protocol's ``ensure_read_span`` / ``ensure_write_span`` batch
+fault loops, which preserve per-page event order, counters, and traces
+exactly.  ``REPRO_DSM_NO_FASTPATH=1`` restores the original per-page
+generator loop; simulated results are bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import operator
+from functools import reduce
+from typing import Generator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import fastpath
+from repro.memory.address_space import SharedRegion
+
+Index = Union[int, Tuple[int, ...]]
+
+
+class SharedArray:
+    """An n-dimensional typed array living in DSM shared memory.
+
+    All access methods are generators: they must be driven with
+    ``yield from`` inside a worker so that faults and transfers consume
+    simulated time.  Multi-dimensional arrays are row-major, so a "row
+    block" is contiguous and spans a predictable set of pages — the
+    layout the paper's applications rely on for their banding.
+    """
+
+    def __init__(self, region: SharedRegion, dtype, shape: Sequence[int]):
+        self.region = region
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"bad shape {self.shape}")
+        self.size = reduce(operator.mul, self.shape, 1)
+        if self.size * self.dtype.itemsize > region.nbytes:
+            raise ValueError(
+                f"array {self.shape}x{self.dtype} does not fit region "
+                f"{region.name!r}"
+            )
+
+    # -- construction ---------------------------------------------------
+
+    @staticmethod
+    def alloc(space, name: str, dtype, shape: Sequence[int]) -> "SharedArray":
+        dtype = np.dtype(dtype)
+        size = reduce(operator.mul, [int(s) for s in shape], 1)
+        region = space.alloc(name, size * dtype.itemsize)
+        return SharedArray(region, dtype, shape)
+
+    def initialize(self, values) -> None:
+        """Set initial contents (untimed initialization phase)."""
+        arr = np.asarray(values, self.dtype)
+        if arr.shape != self.shape:
+            arr = np.broadcast_to(arr, self.shape).copy()
+        self.region.initialize(arr)
+
+    # -- index math ----------------------------------------------------------
+
+    def _flatten(self, index: Index) -> int:
+        shape = self.shape
+        if type(index) is tuple and len(index) == 2 and len(shape) == 2:
+            i, j = index
+            d0, d1 = shape
+            if 0 <= i < d0 and 0 <= j < d1:
+                return i * d1 + j
+            raise IndexError(f"index {index} out of bounds {shape}")
+        if isinstance(index, int):
+            index = (index,)
+        if len(index) != len(shape):
+            raise IndexError(f"index {index} does not match {shape}")
+        flat = 0
+        for i, (idx, dim) in enumerate(zip(index, shape)):
+            if not (0 <= idx < dim):
+                raise IndexError(f"index {index} out of bounds {shape}")
+            flat = flat * dim + idx
+        return flat
+
+    def _byte_range(self, start_elem: int, count: int) -> Tuple[int, int]:
+        if start_elem < 0 or count < 0 or start_elem + count > self.size:
+            raise IndexError(
+                f"element range [{start_elem}, {start_elem + count}) "
+                f"outside array of {self.size}"
+            )
+        item = self.dtype.itemsize
+        return self.region.offset + start_elem * item, count * item
+
+    def row_elems(self, row: int) -> Tuple[int, int]:
+        """(first flat element, count) of one leading-dimension row."""
+        stride = self.size // self.shape[0]
+        if not (0 <= row < self.shape[0]):
+            raise IndexError(f"row {row} out of range")
+        return row * stride, stride
+
+    def pages_for_rows(self, row0: int, row1: int) -> list:
+        """Page indices touched by rows ``[row0, row1)``."""
+        start, _ = self.row_elems(row0)
+        stride = self.size // self.shape[0]
+        offset, nbytes = self._byte_range(start, (row1 - row0) * stride)
+        return self.region.space.pages_in(offset, nbytes)
+
+    # -- element range access ------------------------------------------------
+    #
+    # ``try_read`` / ``try_write`` are the plain-function hit path: when
+    # every spanned page is already mapped they move the bytes and
+    # return without a single generator frame being created.  The
+    # ``read_range`` / ``write_range`` generators remain the complete
+    # interface — they attempt the same hit path first, then fault the
+    # cold pages through the protocol's span entry points.
+
+    def try_read(self, env, start_elem: int, count: int):
+        """Hit-path read: the elements if every page is hot, else None."""
+        if not fastpath.ENABLED:
+            return None
+        if start_elem < 0 or count < 0 or start_elem + count > self.size:
+            self._byte_range(start_elem, count)  # raises IndexError
+        item = self.dtype.itemsize
+        data = env.protocol.fast_read(
+            env.proc,
+            self.region.space,
+            self.region.offset + start_elem * item,
+            count * item,
+        )
+        if data is None:
+            return None
+        return data.view(self.dtype)
+
+    def try_write(self, env, start_elem: int, raw) -> bool:
+        """Hit-path write of raw bytes; False if any page is cold.
+
+        Gated on ``free_writes``: when every shared write carries
+        simulated cost (Cashmere's doubling) the scatter can never
+        apply, so don't pay for the attempt.
+        """
+        protocol = env.protocol
+        if not fastpath.ENABLED or not protocol.free_writes:
+            return False
+        item = self.dtype.itemsize
+        count = raw.nbytes // item
+        if start_elem < 0 or start_elem + count > self.size:
+            self._byte_range(start_elem, count)  # raises IndexError
+        return protocol.fast_write(
+            env.proc,
+            self.region.space,
+            self.region.offset + start_elem * item,
+            raw,
+        )
+
+    def _raw_bytes(self, values) -> np.ndarray:
+        return np.ascontiguousarray(values, self.dtype).view(
+            np.uint8
+        ).reshape(-1)
+
+    def read_range(self, env, start_elem: int, count: int) -> Generator:
+        """Read ``count`` elements starting at flat ``start_elem``."""
+        data = self.try_read(env, start_elem, count)
+        if data is not None:  # every page hot: zero-cost gather
+            return data
+        offset, nbytes = self._byte_range(start_elem, count)
+        space = self.region.space
+        protocol = env.protocol
+        if fastpath.ENABLED:
+            lo, hi = space.span_bounds(offset, nbytes)
+            yield from protocol.ensure_read_span(env.proc, lo, hi)
+            data = protocol.fast_read(env.proc, space, offset, nbytes)
+            if data is not None:
+                return data.view(self.dtype)
+            # No bitmaps on this protocol: fall through to the loop.
+        out = np.empty(nbytes, np.uint8)
+        pos = 0
+        for page, start, length in space.page_spans(offset, nbytes):
+            yield from protocol.ensure_read(env.proc, page)
+            data = protocol.page_data(env.proc, page)
+            out[pos : pos + length] = data[start : start + length]
+            pos += length
+        return out.view(self.dtype)
+
+    def write_range(self, env, start_elem: int, values) -> Generator:
+        """Write ``values`` starting at flat ``start_elem``."""
+        raw = self._raw_bytes(values)
+        if self.try_write(env, start_elem, raw):
+            return  # every page hot and writes are free: done
+        offset, nbytes = self._byte_range(
+            start_elem, raw.nbytes // self.dtype.itemsize
+        )
+        space = self.region.space
+        protocol = env.protocol
+        if fastpath.ENABLED:
+            yield from protocol.ensure_write_span(
+                env.proc, space.page_spans_list(offset, nbytes), raw
+            )
+            return
+        pos = 0
+        for page, start, length in space.page_spans(offset, nbytes):
+            yield from protocol.ensure_write(env.proc, page)
+            yield from protocol.apply_write(
+                env.proc, page, start, raw[pos : pos + length]
+            )
+            pos += length
+
+    # -- convenience views ------------------------------------------------------
+
+    def get(self, env, index: Index) -> Generator:
+        """Read a single element."""
+        flat = self._flatten(index)
+        values = self.try_read(env, flat, 1)
+        if values is None:
+            values = yield from self.read_range(env, flat, 1)
+        return values[0]
+
+    def put(self, env, index: Index, value) -> Generator:
+        """Write a single element."""
+        flat = self._flatten(index)
+        raw = self._raw_bytes([value])
+        if not self.try_write(env, flat, raw):
+            yield from self.write_range(env, flat, raw.view(self.dtype))
+
+    def read_rows(self, env, row0: int, row1: int) -> Generator:
+        """Read rows ``[row0, row1)`` of the leading dimension."""
+        start, stride = self.row_elems(row0)
+        count = (row1 - row0) * stride
+        flat = self.try_read(env, start, count)
+        if flat is None:
+            flat = yield from self.read_range(env, start, count)
+        return flat.reshape((row1 - row0,) + self.shape[1:])
+
+    def write_rows(self, env, row0: int, values) -> Generator:
+        """Write consecutive leading-dimension rows starting at row0."""
+        arr = np.asarray(values, self.dtype)
+        tail = self.shape[1:]
+        if arr.shape[1:] != tail:
+            raise ValueError(
+                f"row block shape {arr.shape} does not match {self.shape}"
+            )
+        start, _ = self.row_elems(row0)
+        raw = self._raw_bytes(arr)
+        if not self.try_write(env, start, raw):
+            yield from self.write_range(env, start, raw.view(self.dtype))
+
+    def read_all(self, env) -> Generator:
+        flat = self.try_read(env, 0, self.size)
+        if flat is None:
+            flat = yield from self.read_range(env, 0, self.size)
+        return flat.reshape(self.shape)

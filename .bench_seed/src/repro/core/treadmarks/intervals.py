@@ -1,0 +1,11 @@
+"""Compatibility shim: the interval/vector-timestamp machinery moved to
+:mod:`repro.core.intervals` when home-based LRC started sharing it."""
+
+from repro.core.intervals import (
+    IntervalRecord,
+    IntervalStore,
+    vts_leq,
+    vts_max,
+)
+
+__all__ = ["IntervalRecord", "IntervalStore", "vts_leq", "vts_max"]

@@ -1,0 +1,449 @@
+"""The TreadMarks protocol: lazy release consistency with multi-writer
+twins and diffs, over request/response messaging only.
+
+All consistency information is local; communication happens only at
+synchronization points and at page faults (Section 2.2):
+
+* lock acquires travel manager -> last owner -> requester, carrying the
+  interval records (with write notices) the requester has not seen;
+* barriers centralize interval exchange at a barrier manager;
+* invalidated pages are re-validated by fetching diffs from the writers
+  named in the pending write notices, applied in causal order;
+* writers twin a page on the first write of an interval and create
+  run-length diffs lazily when asked.
+
+The synchronization/interval engine lives in
+:class:`repro.core.lrc.LrcProtocolBase`; this module provides the lazy
+diff data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.cluster.machine import Processor
+from repro.cluster.messaging import Request
+from repro.core.lrc import LrcProcState, LrcProtocolBase
+from repro.core.intervals import IntervalStore
+from repro.memory.diff import Diff, apply_diff_versioned, make_diff
+from repro.memory.page import Protection
+from repro.stats import Category
+
+PAGE_FETCH = "tmk_page_fetch"
+DIFF_FETCH = "tmk_diff_fetch"
+
+# Garbage collection of consistency information (intervals, write
+# notices, diffs) triggers at the next barrier once this many interval
+# records have accumulated, as in the real system.
+GC_RECORD_THRESHOLD = 4096
+
+
+@dataclass
+class TmkPage:
+    """One processor's view of one page.
+
+    ``pending`` holds write notices ``(writer, interval)`` not yet known
+    to be reflected in the local copy.  ``covered_iid[writer]`` is the
+    writer's highest interval whose writes have certainly been applied;
+    ``have_seq[writer]`` is the highest diff sequence number received
+    from that writer (writers number their diffs per page).
+    """
+
+    perm: Protection = Protection.NONE
+    copy: Optional[np.ndarray] = None
+    twin: Optional[np.ndarray] = None
+    pending: List[Tuple[int, int]] = field(default_factory=list)
+    covered_iid: Dict[int, int] = field(default_factory=dict)
+    have_seq: Dict[int, int] = field(default_factory=dict)
+    # Per-page causal version (a Lamport tag): stands in for the interval
+    # vector-timestamp order TreadMarks applies diffs in.  A writer's new
+    # diff is tagged above every diff it applied before writing, and the
+    # invalidate-on-notice path guarantees a causally later writer always
+    # applied its predecessors first, so tag order linearizes
+    # happens-before for race-free programs.  ``word_tags`` records the
+    # version applied per word, so an older diff arriving late cannot
+    # regress a word a newer diff already wrote.
+    lamport: int = 0
+    word_tags: Optional[np.ndarray] = None
+
+    def tags_for(self, page_size: int) -> np.ndarray:
+        if self.word_tags is None:
+            self.word_tags = np.zeros(page_size // 8, np.int64)
+        return self.word_tags
+
+
+@dataclass
+class WriterDiffs:
+    """A writer's diff history for one page it has modified.
+
+    ``covered`` is the highest interval index whose writes are fully
+    represented by the cached diffs.  Diffs are cumulative against the
+    twin at creation time and are identified by a per-page sequence
+    number, which keeps bookkeeping sound even when a page is diffed in
+    the middle of an open interval and then written again.
+    """
+
+    seq: int = 0
+    covered: int = 0
+    cache: List[Tuple[int, int, Diff]] = field(default_factory=list)
+    # cache entries are (seq, causal tag, diff)
+
+
+@dataclass
+class ProcState(LrcProcState):
+    """TreadMarks per-processor protocol state."""
+
+    pages: Dict[int, TmkPage] = field(default_factory=dict)
+    diff_cache: Dict[int, WriterDiffs] = field(default_factory=dict)
+
+    def page(self, page_idx: int) -> TmkPage:
+        found = self.pages.get(page_idx)
+        if found is None:
+            found = TmkPage()
+            self.pages[page_idx] = found
+        return found
+
+
+class TreadMarksProtocol(LrcProtocolBase):
+    """Lazy release consistency over fast user-level messages."""
+
+    # A write to a writable page touches the local copy only (diffs are
+    # collected lazily), so hot write spans qualify for the zero-cost
+    # scatter path.
+    free_writes = True
+
+    @property
+    def gc_record_threshold(self) -> int:
+        return GC_RECORD_THRESHOLD
+
+    def _make_proc_state(self) -> ProcState:
+        return ProcState(
+            vts=[0] * self.cluster.nprocs,
+            store=IntervalStore(self.cluster.nprocs),
+        )
+
+    def _page_manager(self, page: int) -> int:
+        return page % self.nprocs
+
+    # ------------------------------------------------------------------
+    # faults and data access
+    # ------------------------------------------------------------------
+
+    def ensure_read(self, proc: Processor, page_idx: int) -> Generator:
+        state = self._state(proc)
+        page = state.page(page_idx)
+        if page.perm.allows_read():
+            return
+        proc.bump("read_faults")
+        self.trace(proc, "read_fault", page=page_idx)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        yield from self._validate_page(proc, page_idx, page)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
+        state = self._state(proc)
+        page = state.page(page_idx)
+        if page.perm.allows_write():
+            return
+        proc.bump("write_faults")
+        self.trace(proc, "write_fault", page=page_idx)
+        yield from proc.busy(self.costs.page_fault, Category.PROTOCOL)
+        if not page.perm.allows_read():
+            yield from self._validate_page(proc, page_idx, page)
+        if page.twin is None:
+            page.twin = page.copy.copy()
+            proc.bump("twins_created")
+            self.trace(proc, "twin", page=page_idx)
+            yield from proc.busy(
+                self.costs.twin_cost(self.space.page_size), Category.PROTOCOL
+            )
+        state.notices.add(page_idx)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:
+        page = self._state(proc).page(page_idx)
+        if not page.perm.allows_read() or page.copy is None:
+            raise RuntimeError(
+                f"p{proc.pid} touched page {page_idx} without a mapping"
+            )
+        return page.copy
+
+    def apply_write(
+        self, proc: Processor, page_idx: int, start: int, raw: np.ndarray
+    ) -> Generator:
+        page = self._state(proc).page(page_idx)
+        if not page.perm.allows_write():
+            raise RuntimeError(
+                f"p{proc.pid} wrote page {page_idx} without permission"
+            )
+        page.copy[start : start + len(raw)] = raw
+        return
+        yield  # pragma: no cover - writes are local and free of protocol cost
+
+    # ------------------------------------------------------------------
+    # page validation (diff collection)
+    # ------------------------------------------------------------------
+
+    def _validate_page(
+        self, proc: Processor, page_idx: int, page: TmkPage
+    ) -> Generator:
+        """Obtain a base copy if needed, then fetch and apply the diffs
+        named by the pending write notices."""
+        if page.copy is None:
+            yield from self._fetch_base_copy(proc, page_idx, page)
+        needed: Dict[int, int] = {}  # writer -> highest interval needed
+        for writer, iid in page.pending:
+            if writer == proc.pid:
+                continue
+            if iid <= page.covered_iid.get(writer, 0):
+                continue
+            needed[writer] = max(needed.get(writer, 0), iid)
+        page.pending.clear()
+        if not needed:
+            return
+        self.trace(proc, "diff_fetch", page=page_idx, writers=len(needed))
+        # Request all writers' diffs concurrently, then collect replies.
+        requests = []
+        for writer in sorted(needed):
+            request = yield from self.messenger.post_request(
+                proc,
+                self.cluster.proc(writer),
+                DIFF_FETCH,
+                payload=(
+                    page_idx,
+                    page.have_seq.get(writer, 0),
+                    needed[writer],
+                ),
+                size=16,
+            )
+            requests.append((writer, request))
+        incoming = []
+        for writer, request in requests:
+            diffs, covered = yield from proc.wait(request.reply_event)
+            page.covered_iid[writer] = max(
+                page.covered_iid.get(writer, 0), covered
+            )
+            for seq, tag, diff in diffs:
+                if seq <= page.have_seq.get(writer, 0):
+                    continue
+                incoming.append((tag, writer, seq, diff))
+        # Apply in causal order with word-level versioning (see
+        # TmkPage.lamport / word_tags).
+        for tag, writer, seq, diff in sorted(incoming):
+            page.have_seq[writer] = max(page.have_seq.get(writer, 0), seq)
+            page.lamport = max(page.lamport, tag)
+            if diff.is_empty:
+                continue
+            apply_cost = self.costs.diff_apply_base + (
+                self.costs.diff_apply_per_kb * diff.dirty_bytes / 1024.0
+            )
+            yield from proc.busy(apply_cost, Category.PROTOCOL)
+            targets = [page.copy]
+            if page.twin is not None:
+                targets.append(page.twin)
+            apply_diff_versioned(
+                targets, diff, page.tags_for(self.space.page_size), tag
+            )
+            proc.bump("diffs_applied")
+            self.trace(
+                proc, "diff_apply", page=page_idx, writer=writer, tag=tag
+            )
+
+    def _fetch_base_copy(
+        self, proc: Processor, page_idx: int, page: TmkPage
+    ) -> Generator:
+        """First touch: fetch the page's base contents from its manager.
+
+        The requester then brings the copy up to date by applying every
+        diff named in its (complete, since it spans the current GC
+        epoch) pending-notice list.
+        """
+        manager = self._page_manager(page_idx)
+        if manager == proc.pid:
+            page.copy = self._serve_page_fetch_source(
+                self._state(proc), page_idx
+            ).copy()
+            return
+        snapshot = yield from self.messenger.request(
+            proc,
+            self.cluster.proc(manager),
+            PAGE_FETCH,
+            payload=page_idx,
+            size=8,
+        )
+        # Copy from the message buffer into the working page.
+        yield from proc.busy(
+            self.costs.memcpy_cost(self.space.page_size), Category.PROTOCOL
+        )
+        page.copy = snapshot.copy()
+        proc.bump("page_fetches")
+        self.trace(proc, "page_fetch", page=page_idx, manager=manager)
+
+    # ------------------------------------------------------------------
+    # base-class hooks
+    # ------------------------------------------------------------------
+
+    def _note_remote_write(
+        self, proc: Processor, writer: int, iid: int, page_idx: int
+    ) -> Generator:
+        state = self._state(proc)
+        page = state.page(page_idx)
+        page.pending.append((writer, iid))
+        if page.perm is not Protection.NONE:
+            self._set_perm(proc.pid, page_idx, page, Protection.NONE)
+            self.trace(proc, "invalidate", page=page_idx)
+            yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _serve_data(self, proc: Processor, request: Request) -> Generator:
+        if request.kind == PAGE_FETCH:
+            yield from self._serve_page_fetch(proc, request)
+        elif request.kind == DIFF_FETCH:
+            yield from self._serve_diff_fetch(proc, request)
+        else:
+            raise RuntimeError(f"treadmarks cannot serve {request.kind!r}")
+
+    # ------------------------------------------------------------------
+    # request service
+    # ------------------------------------------------------------------
+
+    def _serve_page_fetch(self, proc: Processor, request: Request) -> Generator:
+        page_idx = request.payload
+        # Reading the cold page is the first bus pass (the messenger
+        # charges the transmit write).
+        yield from proc.busy(
+            0.5 * self.costs.memcpy_cost(self.space.page_size),
+            Category.PROTOCOL,
+        )
+        snapshot = self._serve_page_fetch_source(
+            self._state(proc), page_idx
+        )
+        yield from self.messenger.reply(
+            proc, request, payload=snapshot, size=self.space.page_size
+        )
+
+    def _serve_page_fetch_source(self, state: ProcState, page_idx: int):
+        """Post-GC base fetches must come from the manager's flushed
+        copy; the original backing only covers the first epoch."""
+        page = state.pages.get(page_idx)
+        if page is not None and page.copy is not None:
+            return page.copy
+        return self.space.backing_page(page_idx)
+
+    def _serve_diff_fetch(self, proc: Processor, request: Request) -> Generator:
+        page_idx, have_seq, need_iid = request.payload
+        state = self._state(proc)
+        writer_diffs = state.diff_cache.setdefault(page_idx, WriterDiffs())
+        page = state.page(page_idx)
+        if need_iid > writer_diffs.covered:
+            if page.twin is not None:
+                diff = make_diff(page.twin, page.copy)
+                dirty_fraction = diff.dirty_bytes / self.space.page_size
+                yield from proc.busy(
+                    self.costs.diff_cost(
+                        self.space.page_size, dirty_fraction
+                    ),
+                    Category.PROTOCOL,
+                )
+                writer_diffs.seq += 1
+                page.lamport += 1
+                writer_diffs.cache.append(
+                    (writer_diffs.seq, page.lamport, diff)
+                )
+                page.twin = None
+                proc.bump("diffs_created")
+                self.trace(
+                    proc,
+                    "diff_create",
+                    page=page_idx,
+                    bytes=diff.dirty_bytes,
+                )
+                if page.perm is Protection.READ_WRITE:
+                    self._set_perm(proc.pid, page_idx, page, Protection.READ)
+                    yield from proc.busy(
+                        self.costs.mprotect, Category.PROTOCOL
+                    )
+            # With no twin left, every write up to (at least) the asked
+            # interval is represented in the cached diffs.
+            writer_diffs.covered = max(writer_diffs.covered, need_iid)
+        diffs = [
+            (seq, tag, diff)
+            for seq, tag, diff in writer_diffs.cache
+            if seq > have_seq
+        ]
+        size = sum(d.encoded_size for _, _, d in diffs) + 16
+        yield from self.messenger.reply(
+            proc, request, payload=(diffs, writer_diffs.covered), size=size
+        )
+
+    # ------------------------------------------------------------------
+    # garbage collection hooks
+    # ------------------------------------------------------------------
+
+    def _gc_flush_pages(self, proc: Processor) -> Generator:
+        """Every processor (a) brings each page it caches fully up to
+        date — fetching any outstanding diffs — and (b) validates every
+        page it *manages* so future base fetches are complete without
+        pre-GC diffs."""
+        state = self._state(proc)
+        for page_idx in range(self.space.n_pages):
+            page = state.pages.get(page_idx)
+            has_pending = page is not None and bool(page.pending)
+            manages = self._page_manager(page_idx) == proc.pid
+            if manages or (has_pending and page.copy is not None):
+                yield from self.ensure_read(proc, page_idx)
+            elif has_pending:
+                # No local copy: the manager's flushed copy covers these
+                # notices, so a future first touch needs no old diffs.
+                page.pending.clear()
+
+    def _gc_drop_caches(self, proc: Processor) -> Generator:
+        # Drop diff payloads but keep per-page sequence counters and
+        # coverage watermarks: readers hold ``have_seq`` values that must
+        # stay monotonic across epochs.
+        state = self._state(proc)
+        for writer_diffs in state.diff_cache.values():
+            writer_diffs.cache.clear()
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # cost modelling / warm start
+    # ------------------------------------------------------------------
+
+    def compute_factors(self, ws: WorkingSet):
+        user = self.cache.total_factor(ws)
+        total = self.cache.total_factor(ws, ws.twin, ws.twin_l2)
+        return user, total, Category.PROTOCOL
+
+    def prewarm(self) -> None:
+        """Give every processor a valid copy of every page, modelling a
+        long-running execution whose cold distribution has already been
+        amortized."""
+        for pid, state in self.procs.items():
+            for page_idx in range(self.space.n_pages):
+                page = state.page(page_idx)
+                page.copy = self.space.backing_page(page_idx).copy()
+                self._set_perm(pid, page_idx, page, Protection.READ)
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        for pid, state in self.procs.items():
+            for page_idx, page in state.pages.items():
+                if page.perm is Protection.READ_WRITE and page.twin is None:
+                    raise AssertionError(
+                        f"p{pid}: page {page_idx} writable without a twin"
+                    )
+                if page.perm.allows_read() and page.copy is None:
+                    raise AssertionError(
+                        f"p{pid}: page {page_idx} readable without a copy"
+                    )

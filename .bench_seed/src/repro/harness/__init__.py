@@ -1,0 +1,7 @@
+"""Experiment harness: processor placements, per-table/figure drivers,
+and the command-line interface (``repro-dsm``)."""
+
+from repro.harness.configs import placement, paper_processor_counts
+from repro.harness.runner import ExperimentContext
+
+__all__ = ["ExperimentContext", "placement", "paper_processor_counts"]

@@ -1,0 +1,219 @@
+"""Persistent on-disk cache of simulation results.
+
+Every experiment point the harness runs — a parallel protocol run or a
+sequential baseline — is a pure function of its configuration: the
+simulator is deterministic (see ``tests/test_parallel_harness.py``), so
+``(app, params, RunConfig, code version)`` fully determines the
+:class:`repro.core.RunResult`.  This module memoizes that function on
+disk, so repeated CLI invocations, benchmark reruns, and CI skip
+already-computed points.
+
+Keys are SHA-256 content hashes over a canonical JSON encoding of the
+full configuration — the variant, processor count, every
+:class:`~repro.config.ClusterConfig` and :class:`~repro.config.CostModel`
+constant, all protocol feature flags, the application parameters, and a
+fingerprint of the ``repro`` source tree (so stale results can never
+survive a code change).  Values are pickled ``RunResult`` objects,
+written atomically.
+
+The cache directory resolves, in order: an explicit ``cache_dir``
+argument (the CLI's ``--cache-dir``), ``$REPRO_DSM_CACHE``,
+``$XDG_CACHE_HOME/repro-dsm``, then ``~/.cache/repro-dsm``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.config import RunConfig
+
+#: Bump to invalidate every existing cache entry (result shape change).
+CACHE_SCHEMA = 1
+
+_ENV_VAR = "REPRO_DSM_CACHE"
+
+_source_fingerprint: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg) / "repro-dsm"
+    return Path.home() / ".cache" / "repro-dsm"
+
+
+def source_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Computed once per process; any code change yields new cache keys, so
+    results produced by older code are never served.
+    """
+    global _source_fingerprint
+    if _source_fingerprint is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _source_fingerprint = digest.hexdigest()
+    return _source_fingerprint
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a config value to canonically-serializable JSON."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # NumPy scalars
+    if callable(item):
+        return item()
+    return repr(value)
+
+
+def run_key(
+    app: str,
+    params: Dict[str, Any],
+    run_cfg: RunConfig,
+) -> str:
+    """Cache key for one parallel protocol run."""
+    cfg = run_cfg
+    payload = {
+        "kind": "run",
+        "app": app,
+        "params": _canonical(params),
+        "variant": cfg.variant.name,
+        "system": cfg.variant.system.value,
+        "mechanism": cfg.variant.mechanism.value,
+        "transport": cfg.variant.transport.value,
+        "nprocs": cfg.nprocs,
+        "cluster": _canonical(asdict(cfg.cluster)),
+        "costs": _canonical(asdict(cfg.costs)),
+        "flags": {
+            "first_touch_homes": cfg.first_touch_homes,
+            "exclusive_mode": cfg.exclusive_mode,
+            "write_double_dummy": cfg.write_double_dummy,
+            "remote_reads": cfg.remote_reads,
+            "weak_state": cfg.weak_state,
+            "warm_start": cfg.warm_start,
+            "trace": cfg.trace,
+        },
+    }
+    return _digest(payload)
+
+
+def sequential_key(
+    app: str,
+    params: Dict[str, Any],
+    page_size: int,
+    costs,
+) -> str:
+    """Cache key for one sequential (unlinked) baseline run."""
+    payload = {
+        "kind": "sequential",
+        "app": app,
+        "params": _canonical(params),
+        "page_size": page_size,
+        "costs": _canonical(asdict(costs)),
+    }
+    return _digest(payload)
+
+
+def _digest(payload: Dict[str, Any]) -> str:
+    payload["schema"] = CACHE_SCHEMA
+    payload["code"] = source_fingerprint()
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one harness invocation."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"
+
+
+@dataclass
+class ResultCache:
+    """Pickled :class:`repro.core.RunResult` objects, one file per key.
+
+    ``refresh=True`` turns every lookup into a miss (results are still
+    stored), recomputing and overwriting existing entries — the CLI's
+    ``--refresh`` escape hatch.
+    """
+
+    cache_dir: Optional[Path] = None
+    refresh: bool = False
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is None:
+            self.cache_dir = default_cache_dir()
+        self.cache_dir = Path(self.cache_dir)
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key[:2]}" / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or None on a miss."""
+        if self.refresh:
+            self.stats.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as stream:
+                result = pickle.load(stream)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt or unreadable entry (interrupted write, version
+            # skew): drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` (atomic rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

@@ -1,0 +1,420 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-dsm table1
+    repro-dsm table2 --scale large
+    repro-dsm table3 --apps sor lu --procs 16
+    repro-dsm figure5 --apps sor --variants csm_poll tmk_mc_poll
+    repro-dsm figure6 --warm-start
+    repro-dsm trace sor --variants csm_poll tmk_mc_poll --trace-out out.jsonl
+    repro-dsm run sor --variant csm_poll --trace-out sor.json --trace-format chrome
+
+The full subcommand reference lives in README.md; the trace file
+formats and event catalog in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, variant_by_name
+from repro.apps import registry
+from repro.harness import figure5, figure6, table1, table2, table3
+from repro.harness.cache import ResultCache
+from repro.harness.runner import ExperimentContext
+from repro.stats.export import EXPORT_FORMATS, export_runs
+from repro.stats.trace import diff_traces
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "large"),
+        help="problem-size tier (see each app's default_params)",
+    )
+    parser.add_argument(
+        "--cold-start",
+        action="store_true",
+        help=(
+            "include cold data distribution in the timed run (the "
+            "default pre-validates copies, matching the paper's "
+            "amortisation; see DESIGN.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help=(
+            "record protocol events for every run of this command and "
+            "export them to PATH (see docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=EXPORT_FORMATS,
+        default=None,
+        help=(
+            "trace export format: jsonl (lossless, default) or chrome "
+            "(Perfetto / chrome://tracing)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run independent simulation points on N worker processes "
+            "(results are bit-identical to --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "result-cache directory (default: $REPRO_DSM_CACHE, then "
+            "~/.cache/repro-dsm)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
+    parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="recompute every point and overwrite any cached results",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help=(
+            "profile this invocation with cProfile and dump the stats "
+            "to FILE (inspect with 'python -m pstats FILE'); use "
+            "--jobs 1, worker processes are not profiled"
+        ),
+    )
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            refresh=args.refresh,
+        )
+    return ExperimentContext(
+        scale=args.scale,
+        warm_start=not args.cold_start,
+        trace=args.trace_out is not None,
+        jobs=args.jobs,
+        cache=cache,
+    )
+
+
+def _parse_variants(names: Optional[List[str]]):
+    if not names:
+        return None
+    return [variant_by_name(name) for name in names]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsm",
+        description=(
+            "Regenerate the tables and figures of 'VM-Based Shared Memory "
+            "on Low-Latency, Remote-Memory-Access Networks' (ISCA 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="basic operation costs")
+    _add_common(p1)
+
+    p2 = sub.add_parser("table2", help="data sets and sequential times")
+    _add_common(p2)
+
+    p3 = sub.add_parser("table3", help="detailed statistics (polling)")
+    _add_common(p3)
+    p3.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    p3.add_argument("--procs", type=int, help="override processor count")
+
+    f5 = sub.add_parser("figure5", help="speedup curves")
+    _add_common(f5)
+    f5.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    f5.add_argument(
+        "--variants",
+        nargs="+",
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+    )
+    f5.add_argument(
+        "--counts",
+        nargs="+",
+        type=int,
+        help="processor counts (default 1 2 4 8 16 32)",
+    )
+    f5.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's full sweep (adds 12 and 24 processors)",
+    )
+    f5.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII speedup charts (one per application)",
+    )
+
+    f6 = sub.add_parser("figure6", help="execution-time breakdown")
+    _add_common(f6)
+    f6.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    f6.add_argument("--procs", type=int, help="override processor count")
+    f6.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII stacked breakdown bars",
+    )
+
+    sw = sub.add_parser("sweep", help="network-sensitivity sweeps")
+    _add_common(sw)
+    sw.add_argument(
+        "--knob",
+        default="bandwidth",
+        choices=("bandwidth", "latency"),
+    )
+    sw.add_argument("--app", default="sor", choices=registry.APP_NAMES)
+    sw.add_argument("--procs", type=int, default=16)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run an application under tracing and export the event "
+        "timeline (JSONL or Chrome trace format)",
+    )
+    _add_common(tr)
+    tr.add_argument("app", choices=registry.APP_NAMES)
+    tr.add_argument(
+        "--variants",
+        nargs="+",
+        default=["csm_poll"],
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+        help="protocol variants to trace (two traces of the same app "
+        "are aligned and diffed)",
+    )
+    tr.add_argument("--procs", type=int, default=8)
+    tr.add_argument(
+        "--format",
+        choices=EXPORT_FORMATS,
+        default=None,
+        help="alias for --trace-format",
+    )
+    tr.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="also print the first N events of each trace",
+    )
+
+    one = sub.add_parser("run", help="one application run, in detail")
+    _add_common(one)
+    one.add_argument("app", choices=registry.APP_NAMES)
+    one.add_argument(
+        "--variant",
+        default="csm_poll",
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+    )
+    one.add_argument("--procs", type=int, default=8)
+    one.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the protocol event trace",
+    )
+    one.add_argument(
+        "--trace-limit",
+        type=int,
+        default=200,
+        help="maximum trace events to print",
+    )
+
+    return parser
+
+
+def _run_trace(ctx: ExperimentContext, args: argparse.Namespace) -> None:
+    """The ``trace`` subcommand: run, summarize, and diff traces."""
+    traces = {}
+    for name in args.variants:
+        variant = variant_by_name(name)
+        result = ctx.run(args.app, variant, args.procs, trace=True)
+        traces[name] = result.trace
+        counts = result.trace.counts()
+        print(
+            f"{args.app} under {name} on {args.procs} processors: "
+            f"{len(result.trace):,} events in "
+            f"{result.exec_time / 1e6:.3f} simulated seconds"
+        )
+        for kind in sorted(counts):
+            print(f"  {kind:<20}: {counts[kind]:,}")
+        if args.limit:
+            print(f"\nfirst {args.limit} events of {name}:")
+            print(result.trace.render(limit=args.limit))
+            print()
+    if len(args.variants) == 2:
+        a, b = args.variants
+        print(f"\n--- trace diff: {a} vs {b} ---")
+        print(diff_traces(traces[a], traces[b], a, b).render())
+
+
+def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
+    from repro.stats import Category
+
+    variant = variant_by_name(args.variant)
+    sequential = ctx.sequential(args.app)
+    result = ctx.run(args.app, variant, args.procs, trace=args.trace or ctx.trace)
+    speedup = result.speedup_over(sequential.exec_time)
+    print(f"{args.app} on {args.procs} processors under {variant.name}")
+    print(f"  sequential : {sequential.exec_time / 1e6:10.3f} s")
+    print(f"  parallel   : {result.exec_time / 1e6:10.3f} s "
+          f"(speedup {speedup:.2f}x)")
+    fractions = result.breakdown.fractions()
+    print("  breakdown  : " + "  ".join(
+        f"{c.value}={fractions[c]:.1%}" for c in Category
+    ))
+    agg = result.stats.aggregate_counters()
+    interesting = (
+        "read_faults", "write_faults", "page_transfers", "page_fetches",
+        "twins_created", "diffs_created", "messages", "data_bytes",
+        "write_through_bytes", "gc_rounds",
+    )
+    for name in interesting:
+        if agg[name]:
+            print(f"  {name:<20}: {agg[name]:,}")
+    if args.trace:
+        print(f"\nfirst {args.trace_limit} protocol events:")
+        print(result.trace.render(limit=args.trace_limit))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(
+                f"[profile: wrote {args.profile}; inspect with "
+                f"'python -m pstats {args.profile}' (try "
+                f"'sort cumtime' then 'stats 25')]",
+                file=sys.stderr,
+            )
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    started = time.time()
+    if args.command == "table1":
+        print(table1.render(table1.generate(ctx)))
+    elif args.command == "table2":
+        print(table2.render(table2.generate(ctx)))
+    elif args.command == "table3":
+        cells = table3.generate(ctx, apps=args.apps, nprocs=args.procs)
+        print(table3.render(cells))
+    elif args.command == "figure5":
+        counts = args.counts
+        if args.full:
+            counts = list(figure5.full_paper_counts())
+        curves = figure5.generate(
+            ctx,
+            apps=args.apps,
+            variants=_parse_variants(args.variants),
+            counts=counts,
+        )
+        print(figure5.render(curves))
+        if args.chart:
+            from repro.harness import plots
+
+            apps = []
+            for curve in curves:
+                if curve.app not in apps:
+                    apps.append(curve.app)
+            for app in apps:
+                series = {
+                    c.variant: c.points for c in curves if c.app == app
+                }
+                print()
+                print(plots.line_chart(series, title=f"Figure 5: {app}"))
+    elif args.command == "figure6":
+        bars = figure6.generate(ctx, apps=args.apps, nprocs=args.procs)
+        print(figure6.render(bars))
+        if args.chart:
+            from repro.harness import plots
+
+            print()
+            print(plots.breakdown_chart(bars))
+    elif args.command == "sweep":
+        from repro.harness import sweep as sweep_mod
+
+        if args.knob == "bandwidth":
+            points = sweep_mod.sweep_bandwidth(
+                ctx, app=args.app, nprocs=args.procs
+            )
+        else:
+            points = sweep_mod.sweep_latency(
+                ctx, app=args.app, nprocs=args.procs
+            )
+        print(sweep_mod.render(points))
+        print("gains:", sweep_mod.gains(points))
+    elif args.command == "trace":
+        _run_trace(ctx, args)
+    elif args.command == "run":
+        _run_one(ctx, args)
+    if args.trace_out:
+        fmt = (
+            getattr(args, "format", None) or args.trace_format or "jsonl"
+        )
+        if ctx.trace_runs:
+            try:
+                export_runs(ctx.trace_runs, args.trace_out, format=fmt)
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace to {args.trace_out}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            total = sum(len(run.events) for run in ctx.trace_runs)
+            print(
+                f"[trace: {len(ctx.trace_runs)} run(s), {total:,} events "
+                f"-> {args.trace_out} ({fmt})]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"[trace: no runs recorded; nothing written to "
+                f"{args.trace_out}]",
+                file=sys.stderr,
+            )
+    footer = (
+        f"\n[{args.command} regenerated in {time.time() - started:.1f}s "
+        f"wall time, scale={args.scale}, jobs={args.jobs}"
+    )
+    if ctx.cache is not None:
+        footer += f", cache: {ctx.cache.stats}"
+    print(footer + "]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Processor placements used in the paper's evaluation (Section 4.3).
+
+"The configurations we use are as follows: 1 processor: trivial;
+2: separate nodes; 4: one processor in each of 4 nodes; 8: two processors
+in each of 4 nodes; 12: three processors in each of 4 nodes; 16: two
+processors in each of 8 nodes; 24: three processors in each of 8 nodes;
+and 32: trivial, but not applicable to csm_pp."
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import ClusterConfig, Mechanism
+
+# nprocs -> (nodes used, compute CPUs per node)
+PAPER_PLACEMENTS = {
+    1: (1, 1),
+    2: (2, 1),
+    4: (4, 1),
+    8: (4, 2),
+    12: (4, 3),
+    16: (8, 2),
+    24: (8, 3),
+    32: (8, 4),
+}
+
+PAPER_PROCESSOR_COUNTS = (1, 2, 4, 8, 12, 16, 24, 32)
+
+
+def paper_processor_counts(max_procs: int = 32) -> Tuple[int, ...]:
+    return tuple(n for n in PAPER_PROCESSOR_COUNTS if n <= max_procs)
+
+
+def placement(
+    nprocs: int,
+    cluster: ClusterConfig,
+    mechanism: Mechanism,
+) -> List[Tuple[int, int]]:
+    """Map ranks to (node, cpu) slots following the paper's scheme."""
+    if nprocs < 1:
+        raise ValueError("need at least one processor")
+    compute_cpus = cluster.cpus_per_node
+    if mechanism is Mechanism.PROTOCOL_PROCESSOR:
+        compute_cpus -= 1  # the last CPU of each node services requests
+    if compute_cpus < 1:
+        raise ValueError("no compute CPUs left on each node")
+
+    shape = PAPER_PLACEMENTS.get(nprocs)
+    if shape is not None:
+        nodes_used, cpus_used = shape
+        if nodes_used <= cluster.n_nodes and cpus_used <= compute_cpus:
+            return [
+                (nid, cpu)
+                for nid in range(nodes_used)
+                for cpu in range(cpus_used)
+            ]
+
+    # Fallback for non-paper counts or smaller clusters: spread across as
+    # many nodes as possible, then stack CPUs round-robin.
+    nodes_used = min(cluster.n_nodes, nprocs)
+    if nprocs > nodes_used * compute_cpus:
+        raise ValueError(
+            f"cannot place {nprocs} processors on {cluster.n_nodes} nodes "
+            f"x {compute_cpus} compute CPUs"
+        )
+    slots = []
+    for cpu in range(compute_cpus):
+        for nid in range(nodes_used):
+            slots.append((nid, cpu))
+    return sorted(slots[:nprocs])

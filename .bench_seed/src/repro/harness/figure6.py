@@ -1,0 +1,99 @@
+"""Figure 6: breakdown of normalized execution time for the polling
+variants.
+
+"The breakdown is normalized with respect to total execution time for
+Cashmere on 32 processors (16 for Barnes).  The components shown
+represent time spent executing user code (User), the overhead of
+profiling for polling (Polling) and write doubling (Write doubling),
+time spent in protocol code (Protocol), and communication and wait time
+(Comm & Wait)."
+
+The paper had to extrapolate User/Polling/Write-doubling from
+single-processor runs; the simulator charges every microsecond to a
+category directly, so the breakdown here is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CSM_POLL, TMK_MC_POLL
+from repro.apps import registry
+from repro.harness.runner import BatchPoint, ExperimentContext
+from repro.harness.table3 import procs_for
+from repro.stats import Category
+
+_BAR_ORDER = (
+    Category.USER,
+    Category.POLL,
+    Category.WDOUBLE,
+    Category.PROTOCOL,
+    Category.COMM_WAIT,
+)
+
+
+@dataclass
+class BreakdownBar:
+    app: str
+    system: str  # "CSM" or "TMK"
+    nprocs: int
+    # Each category as a fraction of the Cashmere run's total time.
+    normalized: Dict[Category, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.normalized.values())
+
+
+def generate(
+    ctx: ExperimentContext = None,
+    apps: Optional[Sequence[str]] = None,
+    nprocs: Optional[int] = None,
+) -> List[BreakdownBar]:
+    ctx = ctx or ExperimentContext()
+    apps = list(apps or registry.APP_NAMES)
+    batch = [
+        BatchPoint(app, variant, nprocs or procs_for(app))
+        for app in apps
+        for variant in (CSM_POLL, TMK_MC_POLL)
+    ]
+    results = iter(ctx.run_batch(batch))
+    bars = []
+    for app in apps:
+        n = nprocs or procs_for(app)
+        csm = next(results)
+        tmk = next(results)
+        reference = csm.breakdown.total
+        bars.append(
+            BreakdownBar(
+                app=app,
+                system="CSM",
+                nprocs=n,
+                normalized=csm.breakdown.normalized(reference),
+            )
+        )
+        bars.append(
+            BreakdownBar(
+                app=app,
+                system="TMK",
+                nprocs=n,
+                normalized=tmk.breakdown.normalized(reference),
+            )
+        )
+    return bars
+
+
+def render(bars: List[BreakdownBar]) -> str:
+    lines = [
+        f"{'app':<8}{'sys':<5}{'P':>3}"
+        + "".join(f"{c.value:>16}" for c in _BAR_ORDER)
+        + f"{'total':>8}"
+    ]
+    for bar in bars:
+        lines.append(
+            f"{bar.app:<8}{bar.system:<5}{bar.nprocs:>3}"
+            + "".join(f"{bar.normalized[c]:>16.3f}" for c in _BAR_ORDER)
+            + f"{bar.total:>8.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Parallel fan-out of independent experiment points.
+
+The paper's artifacts are embarrassingly parallel: Figure 5 alone is
+8 applications x 6 variants x 6 processor counts, every point an
+independent deterministic simulation.  This module runs such points
+across a :class:`concurrent.futures.ProcessPoolExecutor` while keeping
+the harness semantics exactly serial:
+
+* **Deterministic ordering** — results come back in submission order,
+  whatever order workers finish in.
+* **Bit-identical outcomes** — the simulator is deterministic across
+  processes (no wall-clock, no unseeded randomness, no hash-order
+  iteration), so a worker's ``RunResult`` equals the in-process one;
+  ``tests/test_parallel_harness.py`` locks this in.
+* **Trace collection** — traced runs carry their ``Tracer`` back in the
+  pickled result; the runner merges them into
+  ``ExperimentContext.trace_runs`` in point order.
+
+Everything a worker needs travels in a :class:`PointSpec` — plain
+dataclasses of config values, never live protocol objects — so specs
+pickle cheaply under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import ClusterConfig, CostModel, RunConfig, variant_by_name
+
+#: Sentinel variant name marking a sequential (unlinked) baseline point.
+SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One self-contained experiment point, ready to run anywhere."""
+
+    app: str
+    variant_name: str  # a protocol variant, or SEQUENTIAL
+    nprocs: int
+    params: Dict[str, Any]
+    cluster: ClusterConfig
+    costs: CostModel
+    warm_start: bool = True
+    trace: bool = False
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.variant_name == SEQUENTIAL
+
+    def run_config(self) -> RunConfig:
+        if self.is_sequential:
+            raise ValueError("sequential points carry no RunConfig")
+        return RunConfig(
+            variant=variant_by_name(self.variant_name),
+            nprocs=self.nprocs,
+            cluster=self.cluster,
+            costs=self.costs,
+            warm_start=self.warm_start,
+            trace=self.trace,
+            **self.overrides,
+        )
+
+
+def execute_point(spec: PointSpec):
+    """Run one point to completion; the process-pool worker entry."""
+    from repro.apps import registry
+    from repro.core import run_program, run_sequential
+
+    module = registry.load(spec.app)
+    if spec.is_sequential:
+        return run_sequential(
+            module.program(),
+            spec.params,
+            page_size=spec.cluster.page_size,
+            costs=spec.costs,
+        )
+    return run_program(module.program(), spec.run_config(), spec.params)
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    jobs: int = 1,
+    max_workers: Optional[int] = None,
+) -> List:
+    """Execute every spec; results return in submission order.
+
+    ``jobs <= 1`` (or a single spec) runs in-process — no pool, no
+    pickling.  Otherwise a process pool of ``min(jobs, len(specs))``
+    workers fans the points out; ``Executor.map`` preserves order.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_point(spec) for spec in specs]
+    workers = max_workers or min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_point, specs))

@@ -1,0 +1,120 @@
+"""ASCII rendering for the paper's figures.
+
+Figure 5 is a grid of speedup-vs-processors line charts, Figure 6 a row
+of stacked breakdown bars; these helpers draw terminal equivalents so
+``repro-dsm figure5 --chart`` is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def line_chart(
+    series: Dict[str, Dict[int, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "speedup",
+    x_label: str = "processors",
+) -> str:
+    """Draw one chart: named series of {x: y} points.
+
+    X positions are spaced by value (so 1, 2, 4 ... 32 lands like the
+    paper's axes); each series gets a distinct mark, with a legend.
+    """
+    points = [(x, y) for curve in series.values() for x, y in curve.items()]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = sorted({x for curve in series.values() for x in curve})
+    y_max = max(y for _, y in points)
+    y_max = max(y_max, 1.0) * 1.05
+    x_min, x_max = min(xs), max(xs)
+    span = max(x_max - x_min, 1)
+
+    def col(x: int) -> int:
+        return int(round((x - x_min) / span * (width - 1)))
+
+    def row(y: float) -> int:
+        return (height - 1) - int(round(y / y_max * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    # The ideal-speedup diagonal, where it fits, as light dots.
+    for x in xs:
+        if x <= y_max:
+            grid[row(float(x))][col(x)] = "."
+    for index, (name, curve) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in sorted(curve.items()):
+            r, c = row(min(y, y_max)), col(x)
+            grid[r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:5.1f} +"
+    pad = " " * (len(top_label) - 1)
+    for r, cells in enumerate(grid):
+        prefix = top_label if r == 0 else f"{pad}|"
+        if r == height - 1:
+            prefix = f"{0.0:5.1f} +"
+        lines.append(prefix + "".join(cells))
+    axis = pad + "+" + "-" * width
+    lines.append(axis)
+    ticks = pad + " "
+    tick_row = [" "] * (width + 1)
+    for x in xs:
+        label = str(x)
+        start = min(col(x), width - len(label))
+        for i, ch in enumerate(label):
+            tick_row[start + i] = ch
+    lines.append(ticks + "".join(tick_row) + f"  {x_label}")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{pad} {legend}   ({y_label}; dots mark ideal)")
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    fractions: Sequence[float],
+    labels: Sequence[str],
+    width: int = 50,
+) -> str:
+    """One horizontal stacked bar; each segment gets its label's initial."""
+    if len(fractions) != len(labels):
+        raise ValueError("fractions and labels must align")
+    total = sum(fractions)
+    cells: List[str] = []
+    for fraction, label in zip(fractions, labels):
+        n = int(round(fraction * width))
+        cells.extend((label[0].upper() if label else "?") * n)
+    bar = "".join(cells)[: int(round(total * width))]
+    return f"|{bar:<{width}}| {total:5.2f}"
+
+
+def breakdown_chart(bars, width: int = 50) -> str:
+    """Figure 6 as stacked bars (one per app x system), normalized to
+    the Cashmere bar of each app."""
+    from repro.stats import Category
+
+    order = (
+        Category.USER,
+        Category.POLL,
+        Category.WDOUBLE,
+        Category.PROTOCOL,
+        Category.COMM_WAIT,
+    )
+    labels = [c.value for c in order]
+    lines = [
+        "segments: "
+        + "  ".join(f"{label[0].upper()}={label}" for label in labels)
+    ]
+    for bar in bars:
+        fractions = [bar.normalized[c] for c in order]
+        rendered = stacked_bar(fractions, labels, width)
+        lines.append(f"{bar.app:>8} {bar.system:<4}{rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Shared machinery for the per-table/figure experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import (
+    ClusterConfig,
+    CostModel,
+    RunConfig,
+    Variant,
+)
+from repro.core import Program, RunResult, run_program, run_sequential
+from repro.apps import registry
+from repro.harness.cache import ResultCache, run_key, sequential_key
+from repro.harness.parallel import SEQUENTIAL, PointSpec, run_points
+from repro.stats.export import TraceRun
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """One experiment point for :meth:`ExperimentContext.run_batch`.
+
+    ``variant=None`` requests the app's sequential (unlinked) baseline;
+    ``costs=None`` uses the context's (app-adjusted) cost model — sweeps
+    pass explicit swept models.
+    """
+
+    app: str
+    variant: Optional[Variant]
+    nprocs: int = 1
+    costs: Optional[CostModel] = None
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class ExperimentContext:
+    """Caches and configuration shared across one harness invocation."""
+
+    scale: str = "small"
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    costs: CostModel = field(default_factory=CostModel)
+    # Warm start is the faithful default at simulation scale: the
+    # paper's minutes-long runs amortise cold data distribution to ~1%
+    # of execution time, while at scaled-down sizes it can dominate
+    # (see DESIGN.md, "Scaling methodology").
+    warm_start: bool = True
+    # With ``trace=True`` every run records protocol events and lands in
+    # ``trace_runs`` (with full provenance metadata), ready for the
+    # exporters in repro.stats.export — this is what the CLI's global
+    # ``--trace-out`` flag switches on.
+    trace: bool = False
+    trace_runs: List[TraceRun] = field(default_factory=list)
+    # Fan independent points of one driver invocation across this many
+    # worker processes (the CLI's ``--jobs``).  1 = fully serial; the
+    # results are bit-identical either way.
+    jobs: int = 1
+    # Optional persistent result cache (the CLI's ``--cache-dir`` /
+    # ``--no-cache``); None disables on-disk caching entirely.
+    cache: Optional[ResultCache] = None
+    _sequential: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
+
+    def app(self, name: str):
+        return registry.load(name)
+
+    def params(self, name: str) -> Dict:
+        return self.app(name).default_params(self.scale)
+
+    def sequential(self, name: str) -> RunResult:
+        return self.run_batch([BatchPoint(name, None)])[0]
+
+    def costs_for(self, name: str) -> CostModel:
+        """The cost model for one app, honouring its scaled-cache
+        overrides (see e.g. ``repro.apps.gauss.cost_overrides``)."""
+        module = self.app(name)
+        overrides = getattr(module, "cost_overrides", None)
+        if overrides is None:
+            return self.costs
+        return replace(self.costs, **overrides(self.params(name)))
+
+    def run(
+        self,
+        name: str,
+        variant: Variant,
+        nprocs: int,
+        **overrides,
+    ) -> RunResult:
+        point = BatchPoint(
+            name, variant, nprocs, overrides=tuple(sorted(overrides.items()))
+        )
+        return self.run_batch([point])[0]
+
+    def run_batch(self, points: Iterable[BatchPoint]) -> List[RunResult]:
+        """Run every point; results return in point order.
+
+        The single entry point for all experiment execution: memoizes
+        sequential baselines, consults the on-disk result cache, fans
+        cache misses across ``self.jobs`` worker processes, stores fresh
+        results back, and merges traces into ``trace_runs`` in point
+        order.
+        """
+        points = list(points)
+        specs = [self._spec_for(point) for point in points]
+        keys = [self._key_for(spec) for spec in specs]
+
+        results: List[Optional[RunResult]] = [None] * len(points)
+        missing: List[int] = []
+        for i, spec in enumerate(specs):
+            cached = self._lookup(spec, keys[i])
+            if cached is not None:
+                results[i] = cached
+            else:
+                missing.append(i)
+
+        fresh = run_points([specs[i] for i in missing], jobs=self.jobs)
+        for i, result in zip(missing, fresh):
+            results[i] = result
+            self._store(specs[i], keys[i], result)
+
+        for spec, result in zip(specs, results):
+            if spec.is_sequential:
+                self._sequential.setdefault((spec.app, self.scale), result)
+            elif spec.trace:
+                self.trace_runs.append(
+                    TraceRun.from_result(result, scale=self.scale)
+                )
+        return results
+
+    def speedup(self, name: str, variant: Variant, nprocs: int, **kw) -> float:
+        seq = self.sequential(name)
+        par = self.run(name, variant, nprocs, **kw)
+        return par.speedup_over(seq.exec_time)
+
+    def max_procs(self, variant: Variant) -> int:
+        cfg = RunConfig(variant=variant, nprocs=1, cluster=self.cluster)
+        return cfg.compute_cpus_available
+
+    # -- internals -----------------------------------------------------
+
+    def _spec_for(self, point: BatchPoint) -> PointSpec:
+        overrides = dict(point.overrides)
+        trace = overrides.pop("trace", self.trace)
+        return PointSpec(
+            app=point.app,
+            variant_name=(
+                SEQUENTIAL if point.variant is None else point.variant.name
+            ),
+            nprocs=point.nprocs,
+            params=self.params(point.app),
+            cluster=self.cluster,
+            costs=(
+                point.costs if point.costs is not None
+                else self.costs_for(point.app)
+            ),
+            warm_start=self.warm_start,
+            trace=trace,
+            overrides=overrides,
+        )
+
+    def _key_for(self, spec: PointSpec) -> Optional[str]:
+        if self.cache is None:
+            return None
+        if spec.is_sequential:
+            return sequential_key(
+                spec.app, spec.params, spec.cluster.page_size, spec.costs
+            )
+        return run_key(spec.app, spec.params, spec.run_config())
+
+    def _lookup(self, spec: PointSpec, key: Optional[str]):
+        if spec.is_sequential:
+            # Keyed by (app, scale) only: the baseline never touches the
+            # network, so swept cost models share one baseline (contexts
+            # created by the sweep drivers share this dict).
+            memo = self._sequential.get((spec.app, self.scale))
+            if memo is not None:
+                return memo
+        if key is None:
+            return None
+        return self.cache.get(key)
+
+    def _store(self, spec: PointSpec, key: Optional[str], result) -> None:
+        if key is not None:
+            self.cache.put(key, result)
+
+
+def feasible_counts(
+    counts: Iterable[int], variant: Variant, ctx: ExperimentContext
+) -> List[int]:
+    limit = ctx.max_procs(variant)
+    return [n for n in counts if n <= limit]

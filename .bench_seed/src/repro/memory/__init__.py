@@ -1,0 +1,14 @@
+"""The paged shared address space and twin/diff machinery."""
+
+from repro.memory.page import Protection
+from repro.memory.diff import Diff, make_diff, apply_diff
+from repro.memory.address_space import AddressSpace, SharedRegion
+
+__all__ = [
+    "AddressSpace",
+    "Diff",
+    "Protection",
+    "SharedRegion",
+    "apply_diff",
+    "make_diff",
+]

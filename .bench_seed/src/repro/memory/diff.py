@@ -1,0 +1,139 @@
+"""Word-granularity run-length diffs, exactly as TreadMarks makes them.
+
+A diff is the run-length encoding of the words that differ between a
+page's *twin* (the pristine copy saved at the first write) and its
+current contents.  Diffs are created lazily when another processor asks
+for a page's changes, and applied in causal order at the requester.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+WORD = 8  # Alpha quadword, the diffing granularity
+
+# Each encoded run carries one descriptor word (offset + length) plus the
+# changed data itself.
+RUN_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Diff:
+    """Changed byte runs of one page: ``[(byte_offset, data), ...]``."""
+
+    runs: Tuple[Tuple[int, bytes], ...]
+
+    @property
+    def encoded_size(self) -> int:
+        """Bytes on the wire: run descriptors plus changed data."""
+        return sum(RUN_HEADER_BYTES + len(data) for _, data in self.runs)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return sum(len(data) for _, data in self.runs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+
+def make_diff(twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Encode the words of ``current`` that differ from ``twin``.
+
+    Both arguments are uint8 arrays of the same page-sized, word-aligned
+    length.  Run boundaries are found entirely in NumPy: a run starts
+    wherever the gap between consecutive changed-word indices exceeds
+    one, so the Python-level work is one loop over *runs*, not words.
+    """
+    if twin.shape != current.shape:
+        raise ValueError("twin and current page must be the same size")
+    if len(twin) % WORD:
+        raise ValueError(f"page size must be a multiple of {WORD}")
+    changed = twin.view(np.uint64) != current.view(np.uint64)
+    idx = np.flatnonzero(changed)
+    if idx.size == 0:
+        return Diff(())
+    breaks = np.flatnonzero(np.diff(idx) != 1)
+    starts = np.empty(breaks.size + 1, idx.dtype)
+    stops = np.empty(breaks.size + 1, idx.dtype)
+    starts[0] = idx[0]
+    starts[1:] = idx[breaks + 1]
+    stops[:-1] = idx[breaks]
+    stops[-1] = idx[-1]
+    starts *= WORD
+    stops = (stops + 1) * WORD
+    runs: List[Tuple[int, bytes]] = [
+        (start, current[start:stop].tobytes())
+        for start, stop in zip(starts.tolist(), stops.tolist())
+    ]
+    return Diff(tuple(runs))
+
+
+def apply_diff(target: np.ndarray, diff: Diff) -> None:
+    """Merge ``diff`` into ``target`` (a page-sized uint8 array)."""
+    for offset, data in diff.runs:
+        if offset + len(data) > len(target):
+            raise ValueError("diff run exceeds page bounds")
+        target[offset : offset + len(data)] = np.frombuffer(data, np.uint8)
+
+
+def apply_diff_versioned(
+    targets,
+    diff: Diff,
+    word_tags: np.ndarray,
+    tag: int,
+) -> None:
+    """Merge ``diff`` into each array in ``targets``, word-versioned.
+
+    A word is overwritten only if ``tag`` exceeds its recorded version;
+    winning words take the new version.  Cumulative diffs can leak a
+    write from an interval later than the one a requester asked for, so
+    an *older* concurrent diff arriving afterwards must not regress such
+    words — for race-free programs, writes to one word are totally
+    ordered by synchronization, and the causal tags preserve that order
+    (see ``TmkPage.lamport``).
+
+    The runs of one diff never overlap (run-length-encoding invariant),
+    so all runs are merged in a single vectorized pass: one gather of
+    the word versions, one scatter of the winning words per target.
+    """
+    runs = diff.runs
+    if not runs:
+        return
+    page_len = len(targets[0])
+    for offset, data in runs:
+        if offset + len(data) > page_len:
+            raise ValueError("diff run exceeds page bounds")
+    if len(runs) == 1:
+        offset, data = runs[0]
+        first = offset // WORD
+        n_words = len(data) // WORD
+        word_idx = np.arange(first, first + n_words)
+        raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
+    else:
+        word_idx = np.concatenate([
+            np.arange(offset // WORD, (offset + len(data)) // WORD)
+            for offset, data in runs
+        ])
+        raw = np.frombuffer(
+            b"".join(data for _, data in runs), np.uint8
+        ).reshape(-1, WORD)
+    winners = word_tags[word_idx] < tag
+    if not winners.any():
+        return
+    win_idx = word_idx[winners]
+    word_tags[win_idx] = tag
+    win_raw = raw[winners]
+    for target in targets:
+        if len(target) % WORD == 0 and target.flags.c_contiguous:
+            view = target.view()
+            view.shape = (-1, WORD)
+            view[win_idx] = win_raw
+        else:  # odd-sized or strided target: scatter byte-by-byte
+            byte_idx = (
+                win_idx[:, None] * WORD + np.arange(WORD)
+            ).ravel()
+            target[byte_idx] = win_raw.ravel()

@@ -1,0 +1,22 @@
+"""Page protection states, as a hardware MMU would hold them."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Protection(enum.IntEnum):
+    """Access rights of one processor's mapping of one page.
+
+    Ordering is meaningful: ``NONE < READ < READ_WRITE``.
+    """
+
+    NONE = 0
+    READ = 1
+    READ_WRITE = 2
+
+    def allows_read(self) -> bool:
+        return self >= Protection.READ
+
+    def allows_write(self) -> bool:
+        return self >= Protection.READ_WRITE

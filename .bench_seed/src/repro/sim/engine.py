@@ -1,0 +1,322 @@
+"""Deterministic discrete-event simulation engine.
+
+The design follows SimPy's process/event model, reduced to exactly what
+the DSM simulation needs:
+
+* :class:`Event` — one-shot; processes wait on it by yielding it.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`AnyOf` — fires as soon as any child event fires.
+* :class:`Process` — wraps a generator; is itself an event that fires
+  when the generator returns.  Supports :meth:`Process.interrupt`, which
+  the cluster model uses to deliver remote requests into a running
+  compute block.
+
+The inner loop is deliberately allocation-light: heap entries are plain
+``(when, seq, func, arg)`` tuples (no closures), and callback
+registration hands out *cells* that are cancelled in O(1) by
+tombstoning rather than ``list.remove`` — long-lived events (processor
+mailboxes, contended locks) see one register/cancel pair per wait, and
+the old linear removal made that quadratic over a run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class DeadlockError(RuntimeError):
+    """Raised when live processes remain but no event can ever fire."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: A registered callback: a one-element list so cancellation is a single
+#: store (``cell[0] = None``) instead of an O(n) list removal.
+Cell = List[Optional[Callable]]
+
+#: Compact an event's callback list only once tombstones both exceed
+#: this count and outnumber the live entries.
+_COMPACT_MIN_DEAD = 8
+
+
+def _succeed(event: "Event") -> None:
+    event.succeed()
+
+
+def _invoke(action: Callable[[], None]) -> None:
+    action()
+
+
+def _fire(event: "Event") -> None:
+    """Deliver a fired event to the callbacks registered at fire time."""
+    cells, event.callbacks = event.callbacks, None
+    for cell in cells:
+        callback = cell[0]
+        if callback is not None:
+            callback(event)
+
+
+class Event:
+    """A one-shot event; fires at most once with an optional value."""
+
+    __slots__ = ("engine", "callbacks", "_dead", "_triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[List[Cell]] = []
+        self._dead = 0
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> Cell:
+        """Register ``callback`` for the fire; returns its cancel cell."""
+        cell: Cell = [callback]
+        self.callbacks.append(cell)
+        return cell
+
+    def cancel_callback(self, cell: Cell) -> None:
+        """Cancel a registration in O(1) by tombstoning its cell."""
+        if cell[0] is None:
+            return
+        cell[0] = None
+        callbacks = self.callbacks
+        if callbacks is None:
+            return  # already fired; the tombstone alone suffices
+        self._dead += 1
+        if (
+            self._dead > _COMPACT_MIN_DEAD
+            and self._dead * 2 > len(callbacks)
+        ):
+            self.callbacks = [c for c in callbacks if c[0] is not None]
+            self._dead = 0
+
+    def live_callbacks(self) -> List[Callable]:
+        """The still-registered callbacks (testing/introspection)."""
+        return [c[0] for c in (self.callbacks or ()) if c[0] is not None]
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now; waiters resume at the current sim time."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self.value = value
+        if self.callbacks:
+            self.engine._push(self.engine.now, _fire, self)
+        else:
+            self.callbacks = None
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated microseconds from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(engine)
+        self.delay = delay
+        engine._push(engine.now + delay, _succeed, self)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires; value is that event."""
+
+    __slots__ = ("events", "_cells")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf needs at least one event")
+        fired = next((e for e in self.events if e._triggered), None)
+        if fired is not None:
+            self.succeed(fired)
+            return
+        self._cells = [e.add_callback(self._child_fired) for e in self.events]
+
+    def _child_fired(self, event: Event) -> None:
+        if self._triggered:
+            return
+        # Detach from the children that did not fire; long-lived events
+        # (processor mailboxes, lock grants) would otherwise accumulate
+        # one dead callback per wait.
+        for child, cell in zip(self.events, self._cells):
+            if child is not event:
+                child.cancel_callback(cell)
+        self.succeed(event)
+
+
+class Process(Event):
+    """A running generator process.  Fires (as an event) on return."""
+
+    __slots__ = (
+        "generator",
+        "name",
+        "daemon",
+        "_waiting_on",
+        "_wait_cell",
+        "_interrupt_pending",
+    )
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: str = "proc",
+        daemon: bool = False,
+    ):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name
+        self.daemon = daemon
+        self._waiting_on: Optional[Event] = None
+        self._wait_cell: Optional[Cell] = None
+        self._interrupt_pending: Optional[Interrupt] = None
+        engine._push(engine.now, Process._start, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self._triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        if self._interrupt_pending is not None:
+            return  # coalesce; one wakeup is enough
+        self._interrupt_pending = Interrupt(cause)
+        self.engine._push(self.engine.now, Process._deliver_interrupt, self)
+
+    # -- internals ----------------------------------------------------
+
+    def _start(self) -> None:
+        self._step_send(None)
+
+    def _deliver_interrupt(self) -> None:
+        interrupt = self._interrupt_pending
+        self._interrupt_pending = None
+        if interrupt is None or self._triggered:
+            return
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None:
+            waited.cancel_callback(self._wait_cell)
+        try:
+            target = self.generator.throw(interrupt)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_for(target)
+
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup (we were interrupted away from it)
+        self._waiting_on = None
+        self._step_send(event.value)
+
+    def _step_send(self, value: Any) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+        if target._triggered:
+            self.engine._push(self.engine.now, self._resume_immediate, target)
+        else:
+            self._waiting_on = target
+            self._wait_cell = target.add_callback(self._resume)
+
+    def _resume_immediate(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        self._step_send(event.value)
+
+
+class Engine:
+    """The event loop: a time-ordered heap of pending callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._processes: List[Process] = []
+
+    # -- public construction helpers ----------------------------------
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str = "proc",
+        daemon: bool = False,
+    ) -> Process:
+        proc = Process(self, generator, name, daemon)
+        self._processes.append(proc)
+        return proc
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute sim time ``when``."""
+        if when < self.now:
+            raise ValueError("cannot schedule in the past")
+        self._push(when, _invoke, action)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- running -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until no work remains (or ``until`` sim time); return now."""
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            _when, _seq, func, arg = pop(heap)
+            if when < self.now:
+                raise RuntimeError("event scheduled in the past")
+            self.now = when
+            func(arg)
+        stuck = [
+            p.name for p in self._processes if p.is_alive and not p.daemon
+        ]
+        if stuck:
+            raise DeadlockError(
+                f"no events pending but processes still alive: {stuck}"
+            )
+        return self.now
+
+    # -- internals -----------------------------------------------------
+
+    def _push(self, when: float, func: Callable[[Any], None], arg: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, func, arg))

@@ -1,0 +1,38 @@
+"""Per-processor time accounting, event counters, and observability.
+
+``counters``/``breakdown`` hold the paper-facing accounting (Figure 6
+categories, Table 3 counters).  ``trace`` records protocol events when
+``RunConfig(trace=True)`` and offers timeline queries; ``export`` turns
+traces into self-describing JSONL or Chrome trace-event files (see
+``docs/OBSERVABILITY.md``).
+"""
+
+from repro.stats.counters import Category, ProcStats, StatsBoard
+from repro.stats.breakdown import Breakdown
+from repro.stats.trace import TraceEvent, Tracer, diff_traces
+from repro.stats.export import (
+    TraceRun,
+    chrome_trace,
+    export_runs,
+    read_jsonl,
+    run_metadata,
+    write_chrome,
+    write_jsonl,
+)
+
+__all__ = [
+    "Category",
+    "ProcStats",
+    "StatsBoard",
+    "Breakdown",
+    "TraceEvent",
+    "Tracer",
+    "TraceRun",
+    "diff_traces",
+    "run_metadata",
+    "chrome_trace",
+    "export_runs",
+    "read_jsonl",
+    "write_chrome",
+    "write_jsonl",
+]

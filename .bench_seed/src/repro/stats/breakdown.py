@@ -1,0 +1,55 @@
+"""Execution-time breakdown in the style of the paper's Figure 6.
+
+The paper could only measure Protocol and Comm & Wait directly and had to
+extrapolate User / Polling / Write-doubling time from single-processor
+runs.  The simulator charges every microsecond to a category as it is
+spent, so the breakdown here is measured directly; the normalisation
+(each bar as a fraction of Cashmere's total) matches the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.stats.counters import Category, StatsBoard
+
+_ORDER = (
+    Category.USER,
+    Category.POLL,
+    Category.WDOUBLE,
+    Category.PROTOCOL,
+    Category.COMM_WAIT,
+)
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Aggregate time per category, normalisable against a reference."""
+
+    time: Dict[Category, float]
+
+    @staticmethod
+    def from_stats(stats: StatsBoard) -> "Breakdown":
+        return Breakdown({c: stats.total_time(c) for c in _ORDER})
+
+    @property
+    def total(self) -> float:
+        return sum(self.time.values())
+
+    def fractions(self) -> Dict[Category, float]:
+        total = self.total
+        if total <= 0:
+            return {c: 0.0 for c in _ORDER}
+        return {c: self.time[c] / total for c in _ORDER}
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready category->microseconds mapping (trace metadata)."""
+        return {c.value: self.time[c] for c in _ORDER}
+
+    def normalized(self, reference_total: float) -> Dict[Category, float]:
+        """Each category as a fraction of ``reference_total`` (Figure 6
+        normalises both systems against Cashmere's total time)."""
+        if reference_total <= 0:
+            raise ValueError("reference total must be positive")
+        return {c: self.time[c] / reference_total for c in _ORDER}

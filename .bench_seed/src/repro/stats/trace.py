@@ -1,0 +1,289 @@
+"""Optional protocol event tracing and timeline queries.
+
+With ``RunConfig(trace=True)`` the protocols record every observable
+coherence event — faults, page fetches, twins, diffs, invalidations,
+synchronization — as :class:`TraceEvent` tuples.  The trace is exposed
+on ``RunResult.trace`` and is the basis of the protocol-microscope
+example, of fine-grained protocol tests, and of the exporters in
+:mod:`repro.stats.export` (JSONL and Chrome trace-event format).
+
+Two kinds of event exist:
+
+* *instants* (``dur == 0``) — a coherence action at one simulated
+  moment: a fault, a twin, a diff, an invalidation;
+* *spans* (``dur > 0``) — an operation with extent: a compute block, a
+  barrier episode, a lock acquire.  Spans are recorded when they end
+  but carry their *start* time, so the tracer's query surface always
+  presents events in chronological (start-time) order.
+
+The complete catalog of event kinds and their ``details`` fields is
+documented in ``docs/OBSERVABILITY.md``; a test enforces that the
+catalog stays complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event at a simulated instant (or over a span)."""
+
+    time: float
+    pid: int
+    kind: str
+    details: Tuple[Tuple[str, Any], ...] = ()
+    dur: float = 0.0  # span duration; 0 for instantaneous events
+
+    def get(self, key: str, default=None):
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def end(self) -> float:
+        """The simulated time at which the event's extent ends."""
+        return self.time + self.dur
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur > 0
+
+    def details_dict(self) -> Dict[str, Any]:
+        return dict(self.details)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation (see ``docs/OBSERVABILITY.md``)."""
+        out: Dict[str, Any] = {"ts": self.time, "pid": self.pid,
+                               "kind": self.kind}
+        if self.dur:
+            out["dur"] = self.dur
+        if self.details:
+            out["details"] = dict(self.details)
+        return out
+
+    @staticmethod
+    def from_dict(record: Dict[str, Any]) -> "TraceEvent":
+        details = record.get("details") or {}
+        return TraceEvent(
+            time=record["ts"],
+            pid=record["pid"],
+            kind=record["kind"],
+            details=tuple(sorted(details.items())),
+            dur=record.get("dur", 0.0),
+        )
+
+    def __str__(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.details)
+        span = f" (+{self.dur:.1f}us)" if self.dur else ""
+        return f"[{self.time:12.1f}us] p{self.pid:<3} {self.kind:<18} {parts}{span}"
+
+
+class Tracer:
+    """Collects protocol events; a disabled tracer costs one branch."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self._sorted: Optional[List[TraceEvent]] = None
+
+    def emit(self, time: float, pid: int, kind: str, dur: float = 0.0,
+             **details) -> None:
+        if not self.enabled:
+            return
+        self._sorted = None
+        self.events.append(
+            TraceEvent(time, pid, kind, tuple(sorted(details.items())), dur)
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.timeline())
+
+    def timeline(self) -> List[TraceEvent]:
+        """All events in chronological (start-time) order.
+
+        Spans are recorded when they *end* but sort by their start time,
+        so ``self.events`` (emission order) can disagree with the
+        timeline; queries always use this sorted view.  The sort is
+        stable: simultaneous events keep their emission order.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(self.events, key=lambda e: e.time)
+        return self._sorted
+
+    def kinds(self) -> set:
+        return {e.kind for e in self.events}
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.timeline() if e.kind in wanted]
+
+    def for_pid(self, pid: int) -> List[TraceEvent]:
+        return [e for e in self.timeline() if e.pid == pid]
+
+    def for_page(self, page: int) -> List[TraceEvent]:
+        return [e for e in self.timeline() if e.get("page") == page]
+
+    def page_history(self, page: int) -> List[TraceEvent]:
+        """The chronological coherence history of one page: every fault,
+        transfer, twin, diff, notice, and invalidation that names it."""
+        return self.for_page(page)
+
+    def between(self, start: float, stop: float) -> List[TraceEvent]:
+        """Events whose start time falls in the half-open window
+        ``[start, stop)`` of simulated microseconds."""
+        return [e for e in self.timeline() if start <= e.time < stop]
+
+    def spans(self, *kinds: str) -> List[TraceEvent]:
+        """Duration events only (``dur > 0``), optionally filtered by kind."""
+        wanted = set(kinds)
+        return [
+            e for e in self.timeline()
+            if e.is_span and (not wanted or e.kind in wanted)
+        ]
+
+    def lock_chain(self, lock_id: int) -> List[TraceEvent]:
+        """The contention chain of one lock: every acquire, grant, and
+        release naming it, in chronological order.  Reading the ``pid``
+        sequence off this list shows how token ownership migrated."""
+        return [
+            e for e in self.timeline() if e.get("lock") == lock_id
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def render(self, limit: Optional[int] = None) -> str:
+        events = self.timeline()
+        if limit is not None:
+            events = events[:limit]
+        return "\n".join(str(e) for e in events)
+
+
+NULL_TRACER = Tracer(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# cross-protocol trace diffing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """One aligned synchronization episode in two traces of the same
+    program: the n-th ``barrier`` span of one processor, under each
+    protocol.  ``skew`` is how much later (in simulated us) the second
+    protocol reached it."""
+
+    pid: int
+    barrier: Any
+    index: int  # n-th barrier episode of this pid
+    time_a: float
+    time_b: float
+
+    @property
+    def skew(self) -> float:
+        return self.time_b - self.time_a
+
+
+@dataclass
+class TraceDiff:
+    """A structural comparison of two traces of the *same application
+    run* under different protocols (see :func:`diff_traces`)."""
+
+    label_a: str
+    label_b: str
+    counts_a: Dict[str, int]
+    counts_b: Dict[str, int]
+    sync_points: List[SyncPoint] = field(default_factory=list)
+
+    @property
+    def kinds(self) -> List[str]:
+        return sorted(set(self.counts_a) | set(self.counts_b))
+
+    @property
+    def only_a(self) -> List[str]:
+        return sorted(set(self.counts_a) - set(self.counts_b))
+
+    @property
+    def only_b(self) -> List[str]:
+        return sorted(set(self.counts_b) - set(self.counts_a))
+
+    def delta(self, kind: str) -> int:
+        return self.counts_b.get(kind, 0) - self.counts_a.get(kind, 0)
+
+    def render(self) -> str:
+        width = max([len(k) for k in self.kinds] + [len("event kind")]) + 2
+        a, b = self.label_a, self.label_b
+        lines = [
+            f"{'event kind':<{width}}{a:>14}{b:>14}{'delta':>10}"
+        ]
+        for kind in self.kinds:
+            na = self.counts_a.get(kind, 0)
+            nb = self.counts_b.get(kind, 0)
+            lines.append(
+                f"{kind:<{width}}{na:>14,}{nb:>14,}{nb - na:>+10,}"
+            )
+        if self.sync_points:
+            worst = max(self.sync_points, key=lambda s: abs(s.skew))
+            lines.append(
+                f"aligned {len(self.sync_points)} barrier episodes; "
+                f"largest skew {worst.skew:+.1f}us "
+                f"(p{worst.pid} barrier {worst.barrier} #{worst.index})"
+            )
+        return "\n".join(lines)
+
+
+def diff_traces(
+    trace_a: Tracer,
+    trace_b: Tracer,
+    label_a: str = "a",
+    label_b: str = "b",
+) -> TraceDiff:
+    """Align two traces of the same application run under different
+    protocols.
+
+    The protocols share the program's synchronization structure (same
+    barriers, in the same per-processor order), so the n-th ``barrier``
+    span of each processor is the natural alignment anchor; everything
+    between anchors is protocol-specific and is compared by event-kind
+    census.  Returns a :class:`TraceDiff` with per-kind counts, the
+    kinds unique to each protocol, and the aligned barrier episodes
+    with their time skew.
+    """
+    diff = TraceDiff(
+        label_a=label_a,
+        label_b=label_b,
+        counts_a=trace_a.counts(),
+        counts_b=trace_b.counts(),
+    )
+    per_pid_a: Dict[int, List[TraceEvent]] = {}
+    for event in trace_a.of_kind("barrier"):
+        per_pid_a.setdefault(event.pid, []).append(event)
+    per_pid_b: Dict[int, List[TraceEvent]] = {}
+    for event in trace_b.of_kind("barrier"):
+        per_pid_b.setdefault(event.pid, []).append(event)
+    for pid in sorted(set(per_pid_a) & set(per_pid_b)):
+        for index, (ea, eb) in enumerate(
+            zip(per_pid_a[pid], per_pid_b[pid])
+        ):
+            diff.sync_points.append(
+                SyncPoint(
+                    pid=pid,
+                    barrier=ea.get("barrier"),
+                    index=index,
+                    time_a=ea.time,
+                    time_b=eb.time,
+                )
+            )
+    return diff

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep every test's result cache inside its tmp dir so the suite
+    never reads from or writes to the user's ~/.cache."""
+    monkeypatch.setenv("REPRO_DSM_CACHE", str(tmp_path / "repro-dsm-cache"))
+
+
+@pytest.fixture
+def engine():
+    from repro.sim import Engine
+
+    return Engine()
+
+
+@pytest.fixture
+def cluster_config():
+    return ClusterConfig()
+
+
+@pytest.fixture
+def costs():
+    return CostModel()

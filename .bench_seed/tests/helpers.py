@@ -1,0 +1,33 @@
+"""Helpers shared across test modules (tests/ is a package)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RunConfig, Variant
+from repro.core import Program, SharedArray, run_program, run_sequential
+
+
+def values_match(a, b, rtol=1e-9, atol=1e-9) -> bool:
+    """Compare worker return values (scalars, arrays, or tuples)."""
+    if isinstance(a, (tuple, list)):
+        return all(values_match(x, y, rtol, atol) for x, y in zip(a, b))
+    return np.allclose(a, b, rtol=rtol, atol=atol)
+
+
+def run_app_everywhere(module, scale, variants, proc_counts, rtol=1e-7):
+    """Run an app module under each (variant, nprocs) and compare with
+    the sequential reference; returns the list of mismatches."""
+    app = module.program()
+    params = module.default_params(scale)
+    seq = run_sequential(app, params)
+    failures = []
+    for variant in variants:
+        for nprocs in proc_counts:
+            cfg = RunConfig(variant=variant, nprocs=nprocs)
+            if nprocs > cfg.compute_cpus_available:
+                continue
+            par = run_program(app, cfg, params)
+            if not values_match(seq.values[0], par.values[0], rtol=rtol):
+                failures.append((variant.name, nprocs))
+    return failures

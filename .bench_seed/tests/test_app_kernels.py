@@ -1,0 +1,221 @@
+"""Unit tests for the applications' numeric kernels (independent of the
+DSM machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import barnes, gauss, lu, sor, tsp, water, em3d, ilink
+from repro.apps.common import band, cyclic_rows, deterministic_rng
+
+
+# --- common helpers -----------------------------------------------------
+
+
+def test_band_partitions_exactly():
+    for nprocs in (1, 3, 7, 32):
+        for n in (1, 10, 100, 257):
+            covered = []
+            for rank in range(nprocs):
+                lo, hi = band(rank, nprocs, n)
+                covered.extend(range(lo, hi))
+            assert covered == list(range(n))
+
+
+def test_band_balance():
+    sizes = [band(r, 7, 100)[1] - band(r, 7, 100)[0] for r in range(7)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_band_bad_rank():
+    with pytest.raises(ValueError):
+        band(5, 4, 100)
+
+
+def test_cyclic_rows():
+    assert list(cyclic_rows(1, 4, 10)) == [1, 5, 9]
+
+
+def test_deterministic_rng_reproducible():
+    a = deterministic_rng(7).random(5)
+    b = deterministic_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+# --- LU kernels ------------------------------------------------------------
+
+
+def test_lu_factor_diag_reconstructs():
+    rng = deterministic_rng(3)
+    a = rng.random((16, 16)) + np.eye(16) * 16
+    packed = lu._factor_diag(a)
+    lower = np.tril(packed, -1) + np.eye(16)
+    upper = np.triu(packed)
+    assert np.allclose(lower @ upper, a)
+
+
+def test_lu_solve_col_row_inverses():
+    rng = deterministic_rng(4)
+    diag = lu._factor_diag(rng.random((8, 8)) + np.eye(8) * 8)
+    lower = np.tril(diag, -1) + np.eye(8)
+    upper = np.triu(diag)
+    a = rng.random((8, 8))
+    assert np.allclose(lu._solve_col(a, diag) @ upper, a)
+    assert np.allclose(lower @ lu._solve_row(a, diag), a)
+
+
+# --- Gauss ----------------------------------------------------------------
+
+
+def test_gauss_back_substitution():
+    rng = deterministic_rng(5)
+    n = 12
+    upper = np.triu(rng.random((n, n)) + np.eye(n) * n)
+    x_true = rng.random(n)
+    aug = np.zeros((n, n + 1))
+    aug[:, :n] = upper
+    aug[:, n] = upper @ x_true
+    assert np.allclose(gauss._back_substitute(aug), x_true)
+
+
+def test_gauss_cost_overrides_scale_down():
+    overrides = gauss.cost_overrides(dict(n=320))
+    from repro.config import CostModel
+
+    base = CostModel()
+    assert overrides["l1_bytes"] < base.l1_bytes
+    assert overrides["l2_bytes"] < base.l2_bytes
+    # The ratios track the problem scaling.
+    assert overrides["l1_bytes"] == pytest.approx(
+        base.l1_bytes * 320 / gauss.PAPER_N, rel=0.01
+    )
+
+
+# --- TSP -----------------------------------------------------------------
+
+
+def test_tsp_greedy_tour_valid():
+    d = tsp.distances(dict(cities=9, seed=1))
+    length, path = tsp._greedy_tour(d)
+    assert sorted(path) == list(range(9))
+    assert path[0] == 0
+    rebuilt = sum(d[path[i]][path[i + 1]] for i in range(8)) + d[path[-1]][0]
+    assert length == pytest.approx(rebuilt)
+
+
+def test_tsp_dfs_matches_brute_force():
+    import itertools
+
+    d = tsp.distances(dict(cities=7, seed=2))
+    best, path, nodes = tsp._dfs_solve(d, [0], 0.0, np.inf)
+    brute = min(
+        sum(d[p][q] for p, q in zip((0,) + perm, perm + (0,)))
+        for perm in itertools.permutations(range(1, 7))
+    )
+    assert best == pytest.approx(brute)
+    assert nodes > 0 and sorted(path) == list(range(7))
+
+
+def test_tsp_lower_bound_is_admissible():
+    d = tsp.distances(dict(cities=7, seed=2))
+    optimum, _, _ = tsp._dfs_solve(d, [0], 0.0, np.inf)
+    assert tsp._lower_bound(d, [0], 0.0) <= optimum + 1e-9
+
+
+def test_tsp_dfs_respects_incumbent():
+    d = tsp.distances(dict(cities=7, seed=2))
+    optimum, _, _ = tsp._dfs_solve(d, [0], 0.0, np.inf)
+    best, path, nodes = tsp._dfs_solve(d, [0], 0.0, optimum - 1e-6)
+    assert path is None  # nothing better than the incumbent
+    assert best == pytest.approx(optimum - 1e-6)
+
+
+# --- Water ----------------------------------------------------------------
+
+
+def test_water_pair_forces_newton_third_law():
+    rng = deterministic_rng(6)
+    pos = rng.random((12, 3)) * 3.0
+    total = np.zeros(3)
+    for rank in range(4):
+        lo, hi = band(rank, 4, 12)
+        total += water._pair_forces(pos[lo:hi], lo, pos).sum(axis=0)
+    assert np.allclose(total, 0.0, atol=1e-9)
+
+
+def test_water_pair_forces_partition_invariant():
+    rng = deterministic_rng(7)
+    pos = rng.random((10, 3)) * 3.0
+    whole = water._pair_forces(pos, 0, pos)
+    split = np.zeros_like(whole)
+    for rank in range(5):
+        lo, hi = band(rank, 5, 10)
+        split += water._pair_forces(pos[lo:hi], lo, pos)
+    assert np.allclose(whole, split)
+
+
+# --- Barnes ---------------------------------------------------------------
+
+
+def test_barnes_tree_mass_conserved():
+    rng = deterministic_rng(8)
+    positions = rng.random((50, 3))
+    masses = np.ones(50) / 50
+    cells = barnes._build_tree(positions, masses)
+    assert cells[0].mass == pytest.approx(1.0)
+
+
+def test_barnes_tree_com_matches():
+    rng = deterministic_rng(9)
+    positions = rng.random((40, 3))
+    masses = rng.random(40)
+    cells = barnes._build_tree(positions, masses)
+    expected = (positions * masses[:, None]).sum(axis=0) / masses.sum()
+    assert np.allclose(cells[0].com, expected)
+
+
+def test_barnes_encode_roundtrip_children():
+    rng = deterministic_rng(10)
+    positions = rng.random((30, 3))
+    masses = np.ones(30)
+    cells = barnes._build_tree(positions, masses)
+    encoded = barnes._encode_cells(cells, 4 * 30)
+    # Every child index recorded in the encoding points inside the tree.
+    for i in range(len(cells)):
+        for child in encoded[i, 5:13]:
+            assert child == -1 or 0 <= child < len(cells)
+
+
+def test_barnes_chunks_cover_all_bodies():
+    covered = []
+    for rank in range(16):
+        covered.extend(barnes._my_chunks(rank, 16, 1000))
+    assert sorted(covered) == list(range(1000))
+
+
+# --- SOR / Em3d / Ilink ----------------------------------------------------
+
+
+def test_sor_phase_update_shape():
+    halo = np.arange(50, dtype=np.float64).reshape(5, 10)
+    out = sor._phase_update(halo)
+    assert out.shape == (3, 10)
+    assert np.all(np.isfinite(out))
+
+
+def test_em3d_dependencies_within_window():
+    params = dict(n_nodes=1024, degree=4, seed=1)
+    deps = em3d._dependencies(params)
+    offsets = (deps["targets"] - np.arange(1024)[:, None]) % 1024
+    # Every dependency is within the window on the ring.
+    in_window = (offsets <= em3d.WINDOW) | (offsets >= 1024 - em3d.WINDOW)
+    assert in_window.all()
+
+
+def test_ilink_sparse_slots_sorted_unique():
+    params = dict(arrays=4, elems=512, density=0.1, seed=3)
+    slots = ilink._sparse_slots(params)
+    assert slots.shape[0] == 4
+    for row in slots:
+        assert len(set(row.tolist())) == len(row)
+        assert np.all(np.diff(row) > 0)
+        assert row.max() < 512

@@ -1,0 +1,106 @@
+"""Unit and property tests for the cache working-set model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CostModel, WorkingSet
+from repro.cluster.cache import CacheModel
+
+
+@pytest.fixture
+def model():
+    return CacheModel(CostModel())
+
+
+def test_fits_l1_no_penalty(model):
+    costs = CostModel()
+    assert model.factor(0) == 1.0
+    assert model.factor(costs.l1_bytes) == 1.0
+
+
+def test_spills_l1_penalized(model):
+    costs = CostModel()
+    assert model.factor(costs.l1_bytes + 1024) > 1.0
+
+
+def test_l2_penalty_reached(model):
+    costs = CostModel()
+    # Well past L1 but within L2: close to the full L2 penalty.
+    factor = model.factor(costs.l2_bytes // 2)
+    assert factor == pytest.approx(costs.l2_penalty, rel=0.01)
+
+
+def test_beyond_l2_worse_than_within(model):
+    costs = CostModel()
+    assert model.factor(8 * costs.l2_bytes) > model.factor(costs.l2_bytes)
+
+
+def test_memory_penalty_cap(model):
+    costs = CostModel()
+    assert model.factor(100 * costs.l2_bytes) <= costs.mem_penalty + 1e-9
+
+
+def test_negative_ws_rejected(model):
+    with pytest.raises(ValueError):
+        model.factor(-1)
+
+
+@given(st.integers(min_value=0, max_value=64 * 1024 * 1024))
+def test_factor_at_least_one(nbytes):
+    model = CacheModel(CostModel())
+    assert model.factor(nbytes) >= 1.0
+
+
+@given(
+    st.integers(min_value=0, max_value=16 * 1024 * 1024),
+    st.integers(min_value=0, max_value=16 * 1024 * 1024),
+)
+def test_factor_monotonic(a, b):
+    model = CacheModel(CostModel())
+    lo, hi = sorted((a, b))
+    assert model.factor(lo) <= model.factor(hi) + 1e-12
+
+
+def test_secondary_factor_jump():
+    model = CacheModel(CostModel())
+    costs = CostModel()
+    fits = model.secondary_factor(costs.l2_bytes)
+    spills = model.secondary_factor(2 * costs.l2_bytes)
+    assert fits == 1.0
+    assert spills > 1.0
+
+
+def test_total_factor_combines_levels():
+    model = CacheModel(CostModel())
+    costs = CostModel()
+    ws = WorkingSet(
+        primary=costs.l1_bytes + 8192, secondary=2 * costs.l2_bytes
+    )
+    combined = model.total_factor(ws)
+    assert combined == pytest.approx(
+        model.factor(ws.primary) * model.secondary_factor(ws.secondary)
+    )
+
+
+def test_total_factor_extra_footprint():
+    """The paper's LU case: 16 KB fits L1, doubling pushes it out."""
+    model = CacheModel(CostModel())
+    ws = WorkingSet(primary=16 * 1024)
+    assert model.total_factor(ws) == 1.0
+    assert model.total_factor(ws, extra_l1=8 * 1024) > 1.0
+
+
+def test_total_factor_gauss_l2_jump():
+    """The paper's Gauss case: the secondary set fits L2 without twins
+    but not with them."""
+    model = CacheModel(CostModel())
+    costs = CostModel()
+    ws = WorkingSet(primary=0, secondary=costs.l2_bytes - 1024)
+    assert model.total_factor(ws) == 1.0
+    assert model.total_factor(ws, extra_l2=512 * 1024) > 1.0
+
+
+def test_empty_working_set_is_free():
+    model = CacheModel(CostModel())
+    assert model.total_factor(WorkingSet()) == 1.0
+    assert model.total_factor(WorkingSet(), 10**9, 10**9) == 1.0

@@ -1,0 +1,236 @@
+"""Unit tests for Cashmere's directory, lists, and MC synchronization."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel, Mechanism
+from repro.cluster.machine import Cluster
+from repro.cluster.network import MemoryChannel
+from repro.core.cashmere.directory import Directory, DirectoryEntry
+from repro.core.cashmere.lists import NoticeList
+from repro.core.cashmere.sync import McFlag, McLock, TreeBarrier
+from repro.sim import Engine
+from repro.stats import StatsBoard
+
+
+# --- directory ---------------------------------------------------------
+
+
+def test_directory_entry_lazy_creation():
+    directory = Directory()
+    entry = directory.entry(42)
+    assert entry.page == 42
+    assert directory.entry(42) is entry
+    assert not entry.home_assigned
+
+
+def test_directory_others():
+    entry = DirectoryEntry(0, sharers={1, 2, 3})
+    assert entry.others(2) == {1, 3}
+    assert entry.others(9) == {1, 2, 3}
+
+
+def test_directory_invariant_checks():
+    directory = Directory()
+    entry = directory.entry(0)
+    entry.exclusive_holder = 5  # not a sharer
+    with pytest.raises(AssertionError, match="not a sharer"):
+        directory.check()
+    entry.sharers.add(5)
+    directory.check()
+    entry.never_exclusive = True
+    with pytest.raises(AssertionError, match="never-exclusive"):
+        directory.check()
+
+
+# --- notice lists ---------------------------------------------------------
+
+
+def test_notice_list_dedup():
+    notices = NoticeList()
+    assert notices.append(7)
+    assert not notices.append(7)  # bitmap suppresses the duplicate
+    assert notices.append(8)
+    assert len(notices) == 2
+    assert 7 in notices
+
+
+def test_notice_list_drain_clears():
+    notices = NoticeList()
+    notices.append(1)
+    notices.append(2)
+    assert list(notices.drain()) == [1, 2]
+    assert len(notices) == 0
+    assert notices.append(1)  # can be re-appended after drain
+
+
+# --- MC locks -----------------------------------------------------------
+
+
+def lock_fixture(nprocs=3):
+    engine = Engine()
+    stats = StatsBoard(nprocs)
+    cluster = Cluster(
+        engine,
+        ClusterConfig(),
+        CostModel(),
+        Mechanism.POLL,
+        [(i, 0) for i in range(nprocs)],
+        stats,
+    )
+    network = MemoryChannel(engine, ClusterConfig(), CostModel())
+    lock = McLock(engine, network, CostModel())
+    return engine, cluster, lock
+
+
+def test_mclock_mutual_exclusion_and_fifo():
+    engine, cluster, lock = lock_fixture()
+    inside = []
+    order = []
+
+    def contender(rank, delay):
+        yield engine.timeout(delay)
+        proc = cluster.proc(rank)
+        yield from lock.acquire(proc)
+        inside.append(rank)
+        assert len(inside) == 1  # mutual exclusion
+        order.append(rank)
+        yield engine.timeout(100.0)
+        inside.remove(rank)
+        yield from lock.release(proc)
+
+    for rank, delay in ((0, 0.0), (1, 5.0), (2, 10.0)):
+        engine.process(contender(rank, delay))
+    engine.run()
+    assert order == [0, 1, 2]  # FIFO grant, no barging
+
+
+def test_mclock_release_by_non_holder_rejected():
+    engine, cluster, lock = lock_fixture()
+
+    def bad():
+        yield from lock.release(cluster.proc(1))
+
+    engine.process(bad())
+    with pytest.raises(RuntimeError, match="releasing lock"):
+        engine.run()
+
+
+def test_mclock_uncontended_cost():
+    engine, cluster, lock = lock_fixture()
+    costs = CostModel()
+
+    def solo():
+        proc = cluster.proc(0)
+        yield from lock.acquire(proc)
+        yield from lock.release(proc)
+
+    engine.process(solo())
+    engine.run()
+    assert engine.now == pytest.approx(costs.lock_mc + 2.0)
+
+
+# --- tree barrier ---------------------------------------------------------
+
+
+def test_tree_barrier_releases_everyone_together():
+    engine, cluster, _ = lock_fixture(3)
+    network = MemoryChannel(engine, ClusterConfig(), CostModel())
+    barrier = TreeBarrier(engine, network, CostModel(), 3)
+    release_times = []
+
+    def member(rank, delay):
+        yield engine.timeout(delay)
+        yield from barrier.arrive_and_wait(cluster.proc(rank))
+        release_times.append(engine.now)
+
+    for rank, delay in ((0, 0.0), (1, 30.0), (2, 60.0)):
+        engine.process(member(rank, delay))
+    engine.run()
+    assert len(set(release_times)) <= 2  # within one wake-up round
+    assert min(release_times) >= 60.0  # nobody leaves before the last
+
+
+def test_tree_barrier_reusable_across_episodes():
+    engine, cluster, _ = lock_fixture(2)
+    network = MemoryChannel(engine, ClusterConfig(), CostModel())
+    barrier = TreeBarrier(engine, network, CostModel(), 2)
+    crossings = []
+
+    def member(rank):
+        for episode in range(3):
+            yield from barrier.arrive_and_wait(cluster.proc(rank))
+            crossings.append((rank, episode))
+
+    engine.process(member(0))
+    engine.process(member(1))
+    engine.run()
+    assert len(crossings) == 6
+
+
+def test_tree_barrier_16_costs_more_than_2():
+    def barrier_cost(nprocs):
+        engine = Engine()
+        stats = StatsBoard(nprocs)
+        cluster = Cluster(
+            engine,
+            ClusterConfig(),
+            CostModel(),
+            Mechanism.POLL,
+            [(i % 8, i // 8) for i in range(nprocs)],
+            stats,
+        )
+        network = MemoryChannel(engine, ClusterConfig(), CostModel())
+        barrier = TreeBarrier(engine, network, CostModel(), nprocs)
+
+        def member(rank):
+            yield from barrier.arrive_and_wait(cluster.proc(rank))
+
+        for rank in range(nprocs):
+            engine.process(member(rank))
+        engine.run()
+        return engine.now
+
+    assert barrier_cost(16) > barrier_cost(2)
+
+
+# --- flags -----------------------------------------------------------------
+
+
+def test_flag_wakes_waiters_after_post():
+    engine, cluster, _ = lock_fixture(2)
+    network = MemoryChannel(engine, ClusterConfig(), CostModel())
+    flag = McFlag(engine, network, CostModel())
+    woken = []
+
+    def waiter():
+        yield from flag.wait(cluster.proc(1))
+        woken.append(engine.now)
+
+    def poster():
+        yield engine.timeout(40.0)
+        yield from flag.post(cluster.proc(0))
+
+    engine.process(waiter())
+    engine.process(poster())
+    engine.run()
+    assert woken and woken[0] >= 40.0
+
+
+def test_flag_wait_after_post_returns_quickly():
+    engine, cluster, _ = lock_fixture(2)
+    network = MemoryChannel(engine, ClusterConfig(), CostModel())
+    flag = McFlag(engine, network, CostModel())
+    woken = []
+
+    def poster():
+        yield from flag.post(cluster.proc(0))
+
+    def late_waiter():
+        yield engine.timeout(100.0)
+        yield from flag.wait(cluster.proc(1))
+        woken.append(engine.now)
+
+    engine.process(poster())
+    engine.process(late_waiter())
+    engine.run()
+    assert woken == [100.0]

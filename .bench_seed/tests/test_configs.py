@@ -1,0 +1,147 @@
+"""Unit tests for configuration, variants, and processor placement."""
+
+import pytest
+
+from repro.config import (
+    ALL_VARIANTS,
+    CSM_POLL,
+    CSM_PP,
+    TMK_MC_POLL,
+    ClusterConfig,
+    CostModel,
+    Mechanism,
+    RunConfig,
+    SystemKind,
+    Transport,
+    variant_by_name,
+)
+from repro.harness.configs import (
+    PAPER_PLACEMENTS,
+    paper_processor_counts,
+    placement,
+)
+
+
+def test_six_variants():
+    assert len(ALL_VARIANTS) == 6
+    names = {v.name for v in ALL_VARIANTS}
+    assert names == {
+        "csm_pp",
+        "csm_int",
+        "csm_poll",
+        "tmk_udp_int",
+        "tmk_mc_int",
+        "tmk_mc_poll",
+    }
+
+
+def test_variant_lookup():
+    assert variant_by_name("csm_poll") is CSM_POLL
+    with pytest.raises(ValueError, match="unknown variant"):
+        variant_by_name("nope")
+
+
+def test_variant_properties():
+    assert CSM_PP.system is SystemKind.CASHMERE
+    assert CSM_PP.mechanism is Mechanism.PROTOCOL_PROCESSOR
+    udp = variant_by_name("tmk_udp_int")
+    assert udp.transport is Transport.UDP
+    assert TMK_MC_POLL.transport is Transport.MEMORY_CHANNEL
+
+
+def test_cluster_defaults_match_paper():
+    cfg = ClusterConfig()
+    assert cfg.n_nodes == 8
+    assert cfg.cpus_per_node == 4
+    assert cfg.total_cpus == 32
+    assert cfg.page_size == 8192
+
+
+def test_cluster_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(page_size=1001)
+
+
+def test_run_config_pp_reserves_cpu():
+    cfg = RunConfig(variant=CSM_PP, nprocs=24)
+    assert cfg.compute_cpus_available == 24
+    with pytest.raises(ValueError):
+        RunConfig(variant=CSM_PP, nprocs=32)
+
+
+def test_run_config_32_ok_for_non_pp():
+    cfg = RunConfig(variant=CSM_POLL, nprocs=32)
+    assert cfg.compute_cpus_available == 32
+
+
+def test_run_config_needs_processor():
+    with pytest.raises(ValueError):
+        RunConfig(variant=CSM_POLL, nprocs=0)
+
+
+def test_paper_processor_counts():
+    assert paper_processor_counts() == (1, 2, 4, 8, 12, 16, 24, 32)
+    assert paper_processor_counts(16) == (1, 2, 4, 8, 12, 16)
+
+
+@pytest.mark.parametrize("nprocs,shape", sorted(PAPER_PLACEMENTS.items()))
+def test_paper_placements(nprocs, shape):
+    nodes_used, cpus_used = shape
+    slots = placement(nprocs, ClusterConfig(), Mechanism.POLL)
+    assert len(slots) == nprocs
+    assert len({nid for nid, _ in slots}) == nodes_used
+    per_node = {}
+    for nid, cpu in slots:
+        per_node.setdefault(nid, []).append(cpu)
+    assert all(len(cpus) == cpus_used for cpus in per_node.values())
+
+
+def test_placement_2_uses_separate_nodes():
+    slots = placement(2, ClusterConfig(), Mechanism.POLL)
+    assert slots == [(0, 0), (1, 0)]
+
+
+def test_placement_8_uses_four_nodes():
+    """The paper: 8 processors = two in each of 4 nodes."""
+    slots = placement(8, ClusterConfig(), Mechanism.POLL)
+    assert len({nid for nid, _ in slots}) == 4
+
+
+def test_placement_pp_never_uses_last_cpu():
+    for nprocs in (1, 2, 4, 8, 12, 16, 24):
+        slots = placement(
+            nprocs, ClusterConfig(), Mechanism.PROTOCOL_PROCESSOR
+        )
+        assert all(cpu < 3 for _, cpu in slots)
+
+
+def test_placement_overflow_rejected():
+    with pytest.raises(ValueError):
+        placement(33, ClusterConfig(), Mechanism.POLL)
+    with pytest.raises(ValueError):
+        placement(32, ClusterConfig(), Mechanism.PROTOCOL_PROCESSOR)
+
+
+def test_placement_fallback_small_cluster():
+    cfg = ClusterConfig(n_nodes=2, cpus_per_node=2)
+    slots = placement(3, cfg, Mechanism.POLL)
+    assert len(slots) == 3
+    assert len({nid for nid, _ in slots}) == 2
+
+
+def test_cost_model_page_scaling():
+    costs = CostModel()
+    assert costs.twin_cost(8192) == costs.twin_page_8k
+    assert costs.twin_cost(4096) == costs.twin_page_8k / 2
+    assert costs.diff_cost(8192, 0.0) == costs.diff_page_min
+    assert costs.diff_cost(8192, 1.0) == costs.diff_page_max
+    assert costs.diff_cost(8192, 2.0) == costs.diff_page_max  # clamped
+
+
+def test_second_generation_model():
+    first = CostModel()
+    second = CostModel.second_generation()
+    assert second.mc_latency < first.mc_latency
+    assert second.mc_link_bandwidth >= 10 * first.mc_link_bandwidth

@@ -1,0 +1,294 @@
+"""Unit and property tests for twin/diff machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.diff import (
+    Diff,
+    RUN_HEADER_BYTES,
+    WORD,
+    apply_diff,
+    apply_diff_versioned,
+    make_diff,
+)
+
+
+def page(values) -> np.ndarray:
+    return np.asarray(values, np.float64).view(np.uint8).copy()
+
+
+def test_identical_pages_empty_diff():
+    twin = page([1.0, 2.0, 3.0, 4.0])
+    diff = make_diff(twin, twin.copy())
+    assert diff.is_empty
+    assert diff.encoded_size == 0
+    assert diff.dirty_bytes == 0
+
+
+def test_single_word_change():
+    twin = page([1.0, 2.0, 3.0, 4.0])
+    current = page([1.0, 9.0, 3.0, 4.0])
+    diff = make_diff(twin, current)
+    assert len(diff.runs) == 1
+    offset, data = diff.runs[0]
+    assert offset == WORD
+    assert len(data) == WORD
+    assert diff.encoded_size == RUN_HEADER_BYTES + WORD
+
+
+def test_adjacent_changes_merge_into_one_run():
+    twin = page([0.0] * 8)
+    current = page([0.0, 5.0, 6.0, 7.0, 0.0, 0.0, 8.0, 0.0])
+    diff = make_diff(twin, current)
+    assert len(diff.runs) == 2
+    assert diff.runs[0][0] == WORD
+    assert len(diff.runs[0][1]) == 3 * WORD
+    assert diff.runs[1][0] == 6 * WORD
+
+
+def test_apply_restores_current():
+    twin = page([1.0, 2.0, 3.0, 4.0])
+    current = page([1.0, 9.0, 3.0, 8.0])
+    diff = make_diff(twin, current)
+    target = twin.copy()
+    apply_diff(target, diff)
+    assert np.array_equal(target, current)
+
+
+def test_mismatched_sizes_rejected():
+    with pytest.raises(ValueError):
+        make_diff(np.zeros(16, np.uint8), np.zeros(24, np.uint8))
+
+
+def test_non_word_multiple_rejected():
+    with pytest.raises(ValueError):
+        make_diff(np.zeros(12, np.uint8), np.zeros(12, np.uint8))
+
+
+def test_apply_out_of_bounds_rejected():
+    diff = Diff(((8, b"x" * 16),))
+    with pytest.raises(ValueError):
+        apply_diff(np.zeros(16, np.uint8), diff)
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=64,
+    ),
+    st.data(),
+)
+def test_diff_roundtrip_property(base, data):
+    """diff(twin, current) applied to twin always reproduces current."""
+    twin = page(base)
+    current = twin.copy()
+    words = current.view(np.float64)
+    n_changes = data.draw(st.integers(0, len(words)))
+    for _ in range(n_changes):
+        idx = data.draw(st.integers(0, len(words) - 1))
+        words[idx] = data.draw(
+            st.floats(allow_nan=False, allow_infinity=False)
+        )
+    diff = make_diff(twin, current)
+    target = twin.copy()
+    apply_diff(target, diff)
+    assert np.array_equal(target, current)
+    assert diff.dirty_bytes <= len(twin)
+
+
+@given(st.integers(1, 64))
+def test_fully_dirty_page_one_run(n_words):
+    twin = page([0.0] * n_words)
+    current = page([1.0] * n_words)
+    diff = make_diff(twin, current)
+    assert len(diff.runs) == 1
+    assert diff.dirty_bytes == n_words * WORD
+
+
+# --- versioned application ------------------------------------------------
+
+
+def test_versioned_apply_basic():
+    target = page([0.0, 0.0])
+    tags = np.zeros(2, np.int64)
+    diff = make_diff(page([0.0, 0.0]), page([5.0, 0.0]))
+    apply_diff_versioned([target], diff, tags, tag=3)
+    assert target.view(np.float64)[0] == 5.0
+    assert tags[0] == 3
+    assert tags[1] == 0  # untouched word keeps its version
+
+
+def test_versioned_apply_rejects_stale_word():
+    """An older diff must not regress a word a newer diff wrote."""
+    target = page([0.0])
+    tags = np.zeros(1, np.int64)
+    newer = make_diff(page([0.0]), page([2.0]))
+    older = make_diff(page([0.0]), page([1.0]))
+    apply_diff_versioned([target], newer, tags, tag=5)
+    apply_diff_versioned([target], older, tags, tag=2)
+    assert target.view(np.float64)[0] == 2.0
+    assert tags[0] == 5
+
+
+def test_versioned_apply_mixed_run():
+    """Within one run, stale words are skipped and fresh words land."""
+    base = page([0.0, 0.0, 0.0])
+    tags = np.array([10, 0, 10], np.int64)
+    diff = make_diff(page([0.0, 0.0, 0.0]), page([1.0, 2.0, 3.0]))
+    target = base.copy()
+    apply_diff_versioned([target], diff, tags, tag=5)
+    assert list(target.view(np.float64)) == [0.0, 2.0, 0.0]
+    assert list(tags) == [10, 5, 10]
+
+
+def test_versioned_apply_updates_twin_too():
+    copy = page([0.0])
+    twin = page([0.0])
+    tags = np.zeros(1, np.int64)
+    diff = make_diff(page([0.0]), page([7.0]))
+    apply_diff_versioned([copy, twin], diff, tags, tag=1)
+    assert copy.view(np.float64)[0] == 7.0
+    assert twin.view(np.float64)[0] == 7.0
+
+
+# --- vectorized paths vs. straightforward references ----------------------
+#
+# ``make_diff`` and ``apply_diff_versioned`` are vectorized (run-boundary
+# detection via np.diff, single-gather/scatter versioned merge).  These
+# references re-implement the original word-by-word / run-by-run logic;
+# the property tests require exact agreement on randomized pages.
+
+
+def _make_diff_reference(twin, current):
+    changed = twin.view(np.uint64) != current.view(np.uint64)
+    idx = np.flatnonzero(changed)
+    if idx.size == 0:
+        return Diff(())
+    runs = []
+    run_start = prev = idx[0]
+    for word in idx[1:]:
+        if word != prev + 1:
+            start = int(run_start) * WORD
+            runs.append((start, current[start:(int(prev) + 1) * WORD].tobytes()))
+            run_start = word
+        prev = word
+    start = int(run_start) * WORD
+    runs.append((start, current[start:(int(prev) + 1) * WORD].tobytes()))
+    return Diff(tuple(runs))
+
+
+def _apply_versioned_reference(targets, diff, word_tags, tag):
+    for offset, data in diff.runs:
+        if offset + len(data) > len(targets[0]):
+            raise ValueError("diff run exceeds page bounds")
+        first = offset // WORD
+        n_words = len(data) // WORD
+        tags = word_tags[first : first + n_words]
+        winners = tags < tag
+        if not winners.any():
+            continue
+        tags[winners] = tag
+        raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
+        for target in targets:
+            view = target[offset : offset + len(data)].reshape(n_words, WORD)
+            view[winners] = raw[winners]
+
+
+def _random_page(data, n_words):
+    raw = data.draw(
+        st.binary(min_size=n_words * WORD, max_size=n_words * WORD)
+    )
+    return np.frombuffer(raw, np.uint8).copy()
+
+
+@settings(max_examples=200)
+@given(st.data())
+def test_make_diff_matches_reference_property(data):
+    n_words = data.draw(st.integers(1, 64))
+    twin = _random_page(data, n_words)
+    current = twin.copy()
+    # Flip a random subset of words so runs of every shape appear.
+    for idx in data.draw(
+        st.lists(st.integers(0, n_words - 1), max_size=n_words)
+    ):
+        current[idx * WORD : (idx + 1) * WORD] ^= data.draw(
+            st.integers(1, 255)
+        )
+    fast = make_diff(twin, current)
+    slow = _make_diff_reference(twin, current)
+    assert fast.runs == slow.runs
+    assert fast.encoded_size == slow.encoded_size
+
+
+@settings(max_examples=200)
+@given(st.data())
+def test_versioned_apply_matches_reference_property(data):
+    n_words = data.draw(st.integers(1, 32))
+    base = _random_page(data, n_words)
+    n_diffs = data.draw(st.integers(1, 4))
+    diffs = []
+    for _ in range(n_diffs):
+        current = base.copy()
+        for idx in data.draw(
+            st.lists(st.integers(0, n_words - 1), max_size=n_words)
+        ):
+            current[idx * WORD : (idx + 1) * WORD] ^= data.draw(
+                st.integers(1, 255)
+            )
+        diffs.append(
+            (data.draw(st.integers(0, 6)), make_diff(base, current))
+        )
+
+    fast_copy, fast_twin = base.copy(), base.copy()
+    fast_tags = np.zeros(n_words, np.int64)
+    slow_copy, slow_twin = base.copy(), base.copy()
+    slow_tags = np.zeros(n_words, np.int64)
+    for tag, diff in diffs:
+        apply_diff_versioned([fast_copy, fast_twin], diff, fast_tags, tag)
+        _apply_versioned_reference(
+            [slow_copy, slow_twin], diff, slow_tags, tag
+        )
+    assert np.array_equal(fast_copy, slow_copy)
+    assert np.array_equal(fast_twin, slow_twin)
+    assert np.array_equal(fast_tags, slow_tags)
+
+
+def test_versioned_apply_out_of_bounds_rejected():
+    diff = Diff(((8, b"x" * 16),))
+    with pytest.raises(ValueError):
+        apply_diff_versioned(
+            [np.zeros(16, np.uint8)], diff, np.zeros(2, np.int64), tag=1
+        )
+
+
+@settings(max_examples=100)
+@given(st.data())
+def test_versioned_apply_order_independence_property(data):
+    """Applying a set of single-writer-per-word diffs in any order gives
+    the word values of the highest tag per word."""
+    n_words = data.draw(st.integers(1, 16))
+    base = page([0.0] * n_words)
+    diffs = []
+    for tag in range(1, data.draw(st.integers(2, 6))):
+        current = base.copy()
+        words = current.view(np.float64)
+        for idx in data.draw(
+            st.lists(st.integers(0, n_words - 1), max_size=n_words)
+        ):
+            words[idx] = tag * 100 + idx
+        diffs.append((tag, make_diff(base, current)))
+    order = data.draw(st.permutations(diffs))
+
+    target = base.copy()
+    tags = np.zeros(n_words, np.int64)
+    for tag, diff in order:
+        apply_diff_versioned([target], diff, tags, tag)
+
+    expected = base.copy()
+    etags = np.zeros(n_words, np.int64)
+    for tag, diff in sorted(diffs):
+        apply_diff_versioned([expected], diff, etags, tag)
+    assert np.array_equal(target, expected)

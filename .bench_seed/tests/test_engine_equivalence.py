@@ -1,0 +1,67 @@
+"""Bit-exact equivalence of the optimized hot paths.
+
+``tests/golden_engine.json`` holds run outcomes (simulated times,
+counters, breakdowns) captured before the engine and diff hot-path
+optimizations landed.  These tests re-run the same configurations and
+require *exact* equality — the optimizations must change wall-clock
+time only, never a single simulated microsecond or counter.
+
+The goldens predate the shared-access fast path, so every case runs
+twice — fast path on and off (``REPRO_DSM_NO_FASTPATH=1``) — proving
+both modes reproduce the pre-optimization simulated results exactly.
+
+Regenerate the goldens only when the simulation's *semantics* change
+intentionally (a protocol fix, a cost-model change):
+
+    PYTHONPATH=src python tests/regen_golden_engine.py
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import RunConfig, run_program, run_sequential, variant_by_name
+from repro.apps import registry
+from repro.core import fastpath
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_engine.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+
+def _run(golden):
+    module = registry.load(golden["app"])
+    params = module.default_params(golden["scale"])
+    if golden["variant"] == "sequential":
+        return run_sequential(module.program(), params)
+    cfg = RunConfig(
+        variant=variant_by_name(golden["variant"]),
+        nprocs=golden["nprocs"],
+        warm_start=True,
+    )
+    return run_program(module.program(), cfg, params)
+
+
+@pytest.fixture(params=[True, False], ids=["fastpath", "legacy"])
+def fastpath_mode(request):
+    saved = fastpath.ENABLED
+    fastpath.set_enabled(request.param)
+    yield request.param
+    fastpath.set_enabled(saved)
+
+
+@pytest.mark.parametrize(
+    "golden",
+    GOLDENS,
+    ids=[f"{g['app']}-{g['variant']}-{g['nprocs']}p" for g in GOLDENS],
+)
+def test_run_matches_golden(golden, fastpath_mode):
+    result = _run(golden)
+    assert result.exec_time == golden["exec_time"]
+    assert result.network_bytes == golden["network_bytes"]
+    agg = result.stats.aggregate_counters()
+    for name, value in golden["counters"].items():
+        assert agg[name] == value, f"counter {name}"
+    breakdown = result.breakdown.as_dict()
+    for category, value in golden["breakdown"].items():
+        assert breakdown[category] == value, f"breakdown {category}"

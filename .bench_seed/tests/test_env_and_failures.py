@@ -1,0 +1,202 @@
+"""Env cost plumbing and failure-injection behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CSM_POLL,
+    TMK_MC_POLL,
+    CostModel,
+    RunConfig,
+    WorkingSet,
+)
+from repro.core import Program, SharedArray, run_program
+from repro.core.runtime.sequential import SequentialProtocol
+from repro.memory import AddressSpace
+from repro.sim import DeadlockError
+from repro.stats import Category
+
+
+def tiny_program(worker):
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "x", np.float64, (1024,))
+        arr.initialize(np.zeros(1024))
+        return {"arr": arr}
+
+    return Program("tiny", setup, worker)
+
+
+# --- Env cost plumbing ------------------------------------------------------
+
+
+def test_compute_polls_only_charged_under_polling():
+    def worker(env, shared, params):
+        yield from env.compute(100.0, polls=10000)
+        env.stop_timer()
+        return None
+
+    poll = run_program(
+        tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {}
+    )
+    costs = CostModel()
+    assert poll.stats[0].reported_time[Category.POLL] == pytest.approx(
+        10000 * costs.poll_check
+    )
+
+    from repro.config import CSM_INT
+
+    intr = run_program(
+        tiny_program(worker), RunConfig(variant=CSM_INT, nprocs=1), {}
+    )
+    assert intr.stats[0].reported_time[Category.POLL] == 0.0
+
+
+def test_working_set_split_categories():
+    costs = CostModel()
+    ws = WorkingSet(primary=costs.l1_bytes - 1024, doubled=64 * 1024)
+
+    def worker(env, shared, params):
+        yield from env.compute(1000.0, ws=ws)
+        env.stop_timer()
+        return None
+
+    result = run_program(
+        tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {}
+    )
+    times = result.stats[0].reported_time
+    # User keeps the un-inflated portion; doubling takes the delta.
+    assert times[Category.USER] == pytest.approx(1000.0)
+    assert times[Category.WDOUBLE] > 0
+
+    tmk = run_program(
+        tiny_program(worker), RunConfig(variant=TMK_MC_POLL, nprocs=1), {}
+    )
+    assert tmk.stats[0].reported_time[Category.WDOUBLE] == 0.0
+
+
+def test_now_advances_monotonically():
+    stamps = []
+
+    def worker(env, shared, params):
+        stamps.append(env.now)
+        yield from env.compute(10.0)
+        stamps.append(env.now)
+        yield from env.barrier(0)
+        stamps.append(env.now)
+        env.stop_timer()
+        return None
+
+    run_program(tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {})
+    assert stamps == sorted(stamps)
+    assert stamps[1] >= stamps[0] + 10.0
+
+
+# --- failure injection ---------------------------------------------------
+
+
+def test_missing_barrier_participant_deadlocks():
+    def worker(env, shared, params):
+        if env.rank == 0:
+            yield from env.barrier(0)  # rank 1 never arrives
+        env.stop_timer()
+        return None
+        yield
+
+    with pytest.raises(DeadlockError):
+        run_program(
+            tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=2), {}
+        )
+
+
+def test_unreleased_lock_blocks_other_acquirers():
+    def worker(env, shared, params):
+        if env.rank == 0:
+            yield from env.lock_acquire(0)
+            # never released
+        else:
+            yield from env.lock_acquire(0)
+        env.stop_timer()
+        return None
+
+    with pytest.raises(DeadlockError):
+        run_program(
+            tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=2), {}
+        )
+
+
+def test_double_release_rejected_cashmere():
+    def worker(env, shared, params):
+        yield from env.lock_acquire(0)
+        yield from env.lock_release(0)
+        yield from env.lock_release(0)
+        env.stop_timer()
+        return None
+
+    with pytest.raises(RuntimeError):
+        run_program(
+            tiny_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {}
+        )
+
+
+def test_double_release_rejected_treadmarks():
+    def worker(env, shared, params):
+        yield from env.lock_acquire(0)
+        yield from env.lock_release(0)
+        yield from env.lock_release(0)
+        env.stop_timer()
+        return None
+
+    with pytest.raises(RuntimeError, match="unheld lock"):
+        run_program(
+            tiny_program(worker), RunConfig(variant=TMK_MC_POLL, nprocs=1), {}
+        )
+
+
+def test_write_without_permission_detected():
+    """Protocol data-access guards catch runtime misuse."""
+    from repro.core.treadmarks.protocol import TreadMarksProtocol
+
+    def worker(env, shared, params):
+        # Bypass ensure_write: direct apply_write must fail.
+        with pytest.raises(RuntimeError, match="without permission"):
+            gen = env.protocol.apply_write(
+                env.proc, 0, 0, np.zeros(8, np.uint8)
+            )
+            while True:
+                next(gen)
+        yield from env.compute(1.0)
+        env.stop_timer()
+        return None
+
+    run_program(
+        tiny_program(worker), RunConfig(variant=TMK_MC_POLL, nprocs=1), {}
+    )
+
+
+def test_sequential_protocol_rejects_requests():
+    space = AddressSpace(1024)
+    protocol = SequentialProtocol(space)
+    with pytest.raises(RuntimeError):
+        protocol.serve(None, None)
+
+
+def test_tsp_pool_exhaustion_raises():
+    from repro.apps import tsp
+
+    params = dict(cities=8, local_depth=2, max_slots=4)
+    with pytest.raises(RuntimeError, match="pool exhausted"):
+        run_program(
+            tsp.program(), RunConfig(variant=CSM_POLL, nprocs=2), params
+        )
+
+
+def test_barnes_cell_overflow_raises():
+    from repro.apps.barnes import _build_tree, _encode_cells
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    positions = rng.random((64, 3))
+    masses = np.ones(64)
+    cells = _build_tree(positions, masses)
+    with pytest.raises(RuntimeError, match="overflow"):
+        _encode_cells(cells, max_cells=2)

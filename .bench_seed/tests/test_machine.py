@@ -1,0 +1,250 @@
+"""Unit tests for processors, nodes, and request-service mechanisms."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel, Mechanism
+from repro.cluster.machine import Cluster, Processor
+from repro.sim import Engine
+from repro.stats import Category, StatsBoard
+
+
+def build(mechanism, placement, n_nodes=8, cpus=4):
+    engine = Engine()
+    stats = StatsBoard(len(placement))
+    cluster = Cluster(
+        engine,
+        ClusterConfig(n_nodes=n_nodes, cpus_per_node=cpus),
+        CostModel(),
+        mechanism,
+        placement,
+        stats,
+    )
+    return engine, cluster, stats
+
+
+def test_compute_charges_user_time():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+
+    def work():
+        yield from proc.compute(100.0)
+
+    engine.process(work())
+    engine.run()
+    assert stats[0].time[Category.USER] == pytest.approx(100.0)
+    assert engine.now == pytest.approx(100.0)
+
+
+def test_poll_instrumentation_cost():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+    costs = CostModel()
+
+    def work():
+        yield from proc.compute(100.0, polls=1000)
+
+    engine.process(work())
+    engine.run()
+    assert stats[0].time[Category.POLL] == pytest.approx(
+        1000 * costs.poll_check
+    )
+    assert stats[0].time[Category.USER] == pytest.approx(100.0)
+
+
+def test_interrupt_mechanism_pays_no_poll_cost():
+    engine, cluster, stats = build(Mechanism.INTERRUPT, [(0, 0)])
+    proc = cluster.proc(0)
+
+    def work():
+        yield from proc.compute(100.0, polls=1000)
+
+    engine.process(work())
+    engine.run()
+    assert stats[0].time[Category.POLL] == 0.0
+
+
+def test_compute_share_split():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+
+    def work():
+        yield from proc.compute(
+            100.0, shares={Category.USER: 0.75, Category.WDOUBLE: 0.25}
+        )
+
+    engine.process(work())
+    engine.run()
+    assert stats[0].time[Category.USER] == pytest.approx(75.0)
+    assert stats[0].time[Category.WDOUBLE] == pytest.approx(25.0)
+
+
+class _StubRequest:
+    pass
+
+
+def _install_server(proc, handled, service_us=10.0):
+    def server(servicer, request):
+        handled.append((servicer.engine.now, request))
+        yield from servicer.busy(service_us, Category.PROTOCOL)
+
+    proc.server = server
+
+
+def test_poll_reaction_interrupts_compute():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+    handled = []
+    _install_server(proc, handled)
+    costs = CostModel()
+
+    def work():
+        yield from proc.compute(1000.0, polls=100)
+
+    def sender():
+        yield engine.timeout(200.0)
+        proc.deliver(_StubRequest())
+
+    engine.process(work())
+    engine.process(sender())
+    engine.run()
+    assert len(handled) == 1
+    # Serviced at the next poll point, not at compute end.
+    assert handled[0][0] == pytest.approx(200.0 + costs.poll_reaction)
+    # Compute still completes in full.
+    assert stats[0].time[Category.USER] == pytest.approx(1000.0, rel=0.01)
+
+
+def test_interrupt_reaction_latency():
+    engine, cluster, stats = build(Mechanism.INTERRUPT, [(0, 0)])
+    proc = cluster.proc(0)
+    handled = []
+    _install_server(proc, handled)
+    costs = CostModel()
+
+    def work():
+        yield from proc.compute(5000.0)
+
+    def sender():
+        yield engine.timeout(200.0)
+        proc.deliver(_StubRequest())
+
+    engine.process(work())
+    engine.process(sender())
+    engine.run()
+    assert len(handled) == 1
+    assert handled[0][0] == pytest.approx(
+        200.0 + costs.interrupt_latency + costs.signal_local
+    )
+
+
+def test_protocol_processor_mechanism_never_disturbs_compute():
+    engine, cluster, stats = build(
+        Mechanism.PROTOCOL_PROCESSOR, [(0, 0)], cpus=4
+    )
+    proc = cluster.proc(0)
+    pp = cluster.nodes[0].protocol_processor
+    assert pp is not None
+    handled = []
+    _install_server(pp, handled)
+    cluster.start_protocol_processors()
+
+    def work():
+        yield from proc.compute(1000.0)
+
+    def sender():
+        yield engine.timeout(100.0)
+        cluster.nodes[0].request_target().deliver(_StubRequest())
+
+    engine.process(work())
+    engine.process(sender())
+    engine.run()
+    assert len(handled) == 1
+    assert handled[0][0] == pytest.approx(100.0)  # serviced immediately
+
+
+def test_wait_services_requests_while_blocked():
+    engine, cluster, stats = build(Mechanism.INTERRUPT, [(0, 0)])
+    proc = cluster.proc(0)
+    handled = []
+    _install_server(proc, handled)
+    gate = engine.event()
+
+    def work():
+        yield from proc.wait(gate)
+
+    def sender():
+        yield engine.timeout(50.0)
+        proc.deliver(_StubRequest())
+        yield engine.timeout(100.0)
+        gate.succeed()
+
+    engine.process(work())
+    engine.process(sender())
+    engine.run()
+    # Serviced immediately at 50 (spinning handler), long before the
+    # interrupt latency would have fired.
+    assert handled[0][0] == pytest.approx(50.0)
+    assert stats[0].time[Category.COMM_WAIT] > 0
+
+
+def test_wait_returns_event_value():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+    gate = engine.event()
+    got = []
+
+    def work():
+        value = yield from proc.wait(gate)
+        got.append(value)
+
+    def sender():
+        yield engine.timeout(10.0)
+        gate.succeed("the-value")
+
+    engine.process(work())
+    engine.process(sender())
+    engine.run()
+    assert got == ["the-value"]
+
+
+def test_placement_validation():
+    with pytest.raises(ValueError, match="out of range"):
+        build(Mechanism.POLL, [(99, 0)])
+    with pytest.raises(ValueError, match="out of range"):
+        build(Mechanism.POLL, [(0, 99)])
+
+
+def test_pp_reserved_cpu_collision_rejected():
+    with pytest.raises(ValueError, match="reserved"):
+        build(Mechanism.PROTOCOL_PROCESSOR, [(0, 3)], cpus=4)
+
+
+def test_same_node_helper():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0), (0, 1), (1, 0)])
+    assert cluster.same_node(0, 1)
+    assert not cluster.same_node(0, 2)
+
+
+def test_negative_compute_rejected():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+
+    def work():
+        yield from proc.compute(-1.0)
+
+    engine.process(work())
+    with pytest.raises(ValueError):
+        engine.run()
+
+
+def test_drain_without_server_raises():
+    engine, cluster, stats = build(Mechanism.POLL, [(0, 0)])
+    proc = cluster.proc(0)
+    proc.deliver(_StubRequest())
+
+    def work():
+        yield from proc.drain()
+
+    engine.process(work())
+    with pytest.raises(RuntimeError, match="no request server"):
+        engine.run()

@@ -1,0 +1,135 @@
+"""Unit and property tests for the paged address space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory import AddressSpace, Protection
+
+
+def test_protection_ordering():
+    assert Protection.NONE < Protection.READ < Protection.READ_WRITE
+    assert not Protection.NONE.allows_read()
+    assert Protection.READ.allows_read()
+    assert not Protection.READ.allows_write()
+    assert Protection.READ_WRITE.allows_write()
+
+
+def test_alloc_page_aligned():
+    space = AddressSpace(page_size=4096)
+    a = space.alloc("a", 100)
+    b = space.alloc("b", 5000)
+    assert a.offset == 0
+    assert a.nbytes == 4096
+    assert b.offset == 4096
+    assert b.nbytes == 8192
+    assert space.n_pages == 3
+
+
+def test_alloc_duplicate_name_rejected():
+    space = AddressSpace()
+    space.alloc("x", 10)
+    with pytest.raises(ValueError, match="already allocated"):
+        space.alloc("x", 10)
+
+
+def test_alloc_zero_size_rejected():
+    space = AddressSpace()
+    with pytest.raises(ValueError):
+        space.alloc("empty", 0)
+
+
+def test_bad_page_size_rejected():
+    with pytest.raises(ValueError):
+        AddressSpace(page_size=100)  # not a multiple of 8
+    with pytest.raises(ValueError):
+        AddressSpace(page_size=32)  # too small
+
+
+def test_page_spans_single_page():
+    space = AddressSpace(page_size=4096)
+    space.alloc("a", 4096)
+    spans = list(space.page_spans(100, 200))
+    assert spans == [(0, 100, 200)]
+
+
+def test_page_spans_crossing():
+    space = AddressSpace(page_size=4096)
+    space.alloc("a", 3 * 4096)
+    spans = list(space.page_spans(4000, 5000))
+    assert spans == [(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]
+
+
+def test_page_spans_out_of_range():
+    space = AddressSpace(page_size=4096)
+    space.alloc("a", 4096)
+    with pytest.raises(ValueError):
+        list(space.page_spans(0, 5000))
+
+
+def test_backing_roundtrip():
+    space = AddressSpace(page_size=256)
+    region = space.alloc("data", 1000)
+    payload = np.arange(1000, dtype=np.uint8)
+    space.write_backing(region.offset, payload)
+    out = space.read_backing(region.offset, 1000)
+    assert np.array_equal(out, payload)
+
+
+def test_region_initialize_typed():
+    space = AddressSpace(page_size=256)
+    region = space.alloc("vals", 10 * 8)
+    region.initialize(np.arange(10, dtype=np.float64))
+    assert np.array_equal(
+        region.read_backing(np.float64, 10), np.arange(10.0)
+    )
+
+
+def test_region_initialize_too_big_rejected():
+    space = AddressSpace(page_size=256)
+    region = space.alloc("small", 64)
+    with pytest.raises(ValueError, match="do not fit"):
+        region.initialize(np.zeros(100))
+
+
+def test_region_page_properties():
+    space = AddressSpace(page_size=1024)
+    space.alloc("pad", 1024)
+    region = space.alloc("r", 2500)
+    assert region.first_page == 1
+    assert region.n_pages == 3
+    assert list(region.pages) == [1, 2, 3]
+
+
+def test_backing_page_out_of_range():
+    space = AddressSpace(page_size=1024)
+    space.alloc("a", 1024)
+    with pytest.raises(ValueError):
+        space.backing_page(5)
+
+
+@given(
+    offset=st.integers(min_value=0, max_value=10000),
+    nbytes=st.integers(min_value=0, max_value=10000),
+)
+def test_page_spans_partition_property(offset, nbytes):
+    """Spans must tile the byte range exactly, in order, within pages."""
+    space = AddressSpace(page_size=512)
+    space.alloc("blob", 20480)
+    spans = list(space.page_spans(offset, nbytes))
+    assert sum(length for _, _, length in spans) == nbytes
+    position = offset
+    for page, start, length in spans:
+        assert page * 512 + start == position
+        assert 0 < length <= 512
+        assert start + length <= 512
+        position += length
+
+
+@given(st.binary(min_size=1, max_size=2048), st.integers(0, 1024))
+def test_backing_write_read_property(raw, offset):
+    space = AddressSpace(page_size=256)
+    space.alloc("blob", 4096)
+    data = np.frombuffer(raw, np.uint8)
+    space.write_backing(offset, data)
+    assert np.array_equal(space.read_backing(offset, len(data)), data)

@@ -1,0 +1,203 @@
+"""Unit tests for the request/response messaging layer."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel, Mechanism, Transport
+from repro.cluster.machine import Cluster
+from repro.cluster.messaging import LOCAL_MSG_LATENCY, Messenger
+from repro.cluster.network import MemoryChannel
+from repro.sim import Engine
+from repro.stats import Category, StatsBoard
+
+
+def build(transport=Transport.MEMORY_CHANNEL, placement=((0, 0), (1, 0))):
+    engine = Engine()
+    stats = StatsBoard(len(placement))
+    cfg = ClusterConfig()
+    costs = CostModel()
+    cluster = Cluster(
+        engine, cfg, costs, Mechanism.POLL, list(placement), stats
+    )
+    network = MemoryChannel(engine, cfg, costs)
+    messenger = Messenger(engine, cluster, network, costs, transport)
+    return engine, cluster, messenger, stats, network
+
+
+def echo_server(messenger):
+    def server(proc, request):
+        yield from messenger.reply(
+            proc, request, payload=("echo", request.payload), size=64
+        )
+
+    return server
+
+
+def test_request_reply_roundtrip():
+    engine, cluster, messenger, stats, _ = build()
+    cluster.proc(1).server = echo_server(messenger)
+    got = []
+
+    def requester():
+        reply = yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "ping", payload=42, size=8
+        )
+        got.append((engine.now, reply))
+
+    def idle_target():
+        yield from cluster.proc(1).wait(engine.event().succeed())
+
+    engine.process(requester())
+    engine.process(cluster.proc(1).serve_forever(), daemon=True)
+    engine.run()
+    assert got[0][1] == ("echo", 42)
+    assert got[0][0] > 0
+
+
+def test_message_and_byte_counters():
+    engine, cluster, messenger, stats, _ = build()
+    cluster.proc(1).server = echo_server(messenger)
+
+    def requester():
+        yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "ping", payload=1, size=100
+        )
+
+    engine.process(requester())
+    engine.process(cluster.proc(1).serve_forever(), daemon=True)
+    engine.run()
+    costs = CostModel()
+    assert stats[0].counters["messages"] == 1
+    assert stats[1].counters["messages"] == 1
+    assert stats[0].counters["data_bytes"] == 100 + costs.msg_header
+    assert stats[1].counters["data_bytes"] == 64 + costs.msg_header
+
+
+def test_same_node_messages_skip_network():
+    engine, cluster, messenger, stats, network = build(
+        placement=((0, 0), (0, 1))
+    )
+    cluster.proc(1).server = echo_server(messenger)
+
+    def requester():
+        yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "ping", payload=1, size=4096
+        )
+
+    engine.process(requester())
+    engine.process(cluster.proc(1).serve_forever(), daemon=True)
+    engine.run()
+    assert network.aggregate_bytes == 0  # never touched the wire
+
+
+def test_cross_node_messages_use_network():
+    engine, cluster, messenger, stats, network = build()
+    cluster.proc(1).server = echo_server(messenger)
+
+    def requester():
+        yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "ping", payload=1, size=4096
+        )
+
+    engine.process(requester())
+    engine.process(cluster.proc(1).serve_forever(), daemon=True)
+    engine.run()
+    assert network.aggregate_bytes > 4096
+
+
+def test_udp_transport_costs_more_cpu():
+    def total_time(transport):
+        engine, cluster, messenger, stats, _ = build(transport)
+        cluster.proc(1).server = echo_server(messenger)
+
+        def requester():
+            yield from messenger.request(
+                cluster.proc(0), cluster.proc(1), "ping", payload=1, size=8
+            )
+
+        engine.process(requester())
+        engine.process(cluster.proc(1).serve_forever(), daemon=True)
+        engine.run()
+        return engine.now
+
+    assert total_time(Transport.UDP) > total_time(Transport.MEMORY_CHANNEL)
+
+
+def test_double_reply_rejected():
+    engine, cluster, messenger, stats, _ = build()
+
+    def bad_server(proc, request):
+        yield from messenger.reply(proc, request, payload=1, size=8)
+        yield from messenger.reply(proc, request, payload=2, size=8)
+
+    cluster.proc(1).server = bad_server
+
+    def requester():
+        yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "ping", payload=1, size=8
+        )
+
+    engine.process(requester())
+    engine.process(cluster.proc(1).serve_forever(), daemon=True)
+    with pytest.raises(RuntimeError, match="already replied"):
+        engine.run()
+
+
+def test_forward_reaches_third_party():
+    engine3 = Engine()
+    stats = StatsBoard(3)
+    cfg = ClusterConfig()
+    costs = CostModel()
+    cluster = Cluster(
+        engine3, cfg, costs, Mechanism.POLL, [(0, 0), (1, 0), (2, 0)], stats
+    )
+    network = MemoryChannel(engine3, cfg, costs)
+    messenger = Messenger(
+        engine3, cluster, network, costs, Transport.MEMORY_CHANNEL
+    )
+
+    def middleman(proc, request):
+        yield from messenger.forward(proc, cluster.proc(2), request)
+
+    def endpoint(proc, request):
+        yield from messenger.reply(proc, request, payload="from-p2", size=8)
+
+    cluster.proc(1).server = middleman
+    cluster.proc(2).server = endpoint
+    got = []
+
+    def requester():
+        reply = yield from messenger.request(
+            cluster.proc(0), cluster.proc(1), "chase", payload=1, size=8
+        )
+        got.append(reply)
+
+    engine3.process(requester())
+    engine3.process(cluster.proc(1).serve_forever(), daemon=True)
+    engine3.process(cluster.proc(2).serve_forever(), daemon=True)
+    engine3.run()
+    assert got == ["from-p2"]
+
+
+def test_post_request_allows_overlap():
+    engine, cluster, messenger, stats, _ = build(
+        placement=((0, 0), (1, 0), (2, 0))
+    )
+    for pid in (1, 2):
+        cluster.proc(pid).server = echo_server(messenger)
+        engine.process(cluster.proc(pid).serve_forever(), daemon=True)
+    got = []
+
+    def requester():
+        r1 = yield from messenger.post_request(
+            cluster.proc(0), cluster.proc(1), "a", payload=1, size=8
+        )
+        r2 = yield from messenger.post_request(
+            cluster.proc(0), cluster.proc(2), "b", payload=2, size=8
+        )
+        v1 = yield from cluster.proc(0).wait(r1.reply_event)
+        v2 = yield from cluster.proc(0).wait(r2.reply_event)
+        got.append((v1, v2))
+
+    engine.process(requester())
+    engine.run()
+    assert got == [(("echo", 1), ("echo", 2))]

@@ -1,0 +1,100 @@
+"""Unit tests for the Memory Channel network model."""
+
+import pytest
+
+from repro.config import ClusterConfig, CostModel
+from repro.cluster.network import MemoryChannel
+from repro.sim import Engine
+
+
+@pytest.fixture
+def network():
+    engine = Engine()
+    return engine, MemoryChannel(engine, ClusterConfig(), CostModel())
+
+
+def test_small_write_dominated_by_latency(network):
+    engine, mc = network
+    done = mc.write(0, 8)
+    costs = CostModel()
+    assert done == pytest.approx(
+        8 / costs.mc_link_bandwidth + costs.mc_latency, rel=1e-6
+    )
+
+
+def test_large_write_dominated_by_bandwidth(network):
+    engine, mc = network
+    costs = CostModel()
+    done = mc.write(0, 8192)
+    wire = 8192 / costs.mc_link_bandwidth
+    assert done >= wire
+    assert done == pytest.approx(
+        max(wire, 8192 / costs.mc_aggregate_bandwidth) + costs.mc_latency,
+        rel=1e-6,
+    )
+
+
+def test_link_occupancy_serializes_same_source(network):
+    engine, mc = network
+    first = mc.write(0, 8192)
+    second = mc.write(0, 8192)
+    assert second > first
+    # Bandwidth-bound transfers from one link queue back to back.
+    assert second - first == pytest.approx(
+        8192 / CostModel().mc_aggregate_bandwidth, rel=0.2
+    )
+
+
+def test_hub_contention_across_sources(network):
+    engine, mc = network
+    costs = CostModel()
+    solo = mc.write(0, 8192)
+    contended = mc.write(1, 8192)  # different link, same hub
+    assert contended > solo
+    # The hub (aggregate bandwidth) is the shared bottleneck: the second
+    # transfer queues behind the first's hub occupancy.
+    hub = 8192 / costs.mc_aggregate_bandwidth
+    assert contended == pytest.approx(2 * hub + costs.mc_latency)
+
+
+def test_usage_accounting(network):
+    engine, mc = network
+    mc.write(0, 100)
+    mc.write(0, 200)
+    mc.write(3, 50)
+    assert mc.usage[0].bytes_sent == 300
+    assert mc.usage[0].transfers == 2
+    assert mc.usage[3].bytes_sent == 50
+    assert mc.aggregate_bytes == 350
+
+
+def test_flush_time_tracks_pending_writes(network):
+    engine, mc = network
+    costs = CostModel()
+    assert mc.flush_time(0) == pytest.approx(costs.mc_latency)
+    done = mc.write(0, 8192)
+    assert mc.flush_time(0) == pytest.approx(
+        8192 / costs.mc_link_bandwidth + costs.mc_latency
+    )
+
+
+def test_negative_size_rejected(network):
+    engine, mc = network
+    with pytest.raises(ValueError):
+        mc.write(0, -1)
+
+
+def test_broadcast_occupies_hub_once(network):
+    engine, mc = network
+    done = mc.write(0, 32, broadcast=True)
+    assert done > 0
+    assert mc.usage[0].transfers == 1
+
+
+def test_second_generation_network_is_faster():
+    engine = Engine()
+    costs2 = CostModel.second_generation()
+    mc2 = MemoryChannel(engine, ClusterConfig(), costs2)
+    engine_1 = Engine()
+    mc1 = MemoryChannel(engine_1, ClusterConfig(), CostModel())
+    assert mc2.write(0, 8192) < mc1.write(0, 8192) / 5

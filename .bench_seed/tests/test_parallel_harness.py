@@ -1,0 +1,257 @@
+"""Determinism and caching guarantees of the parallel harness.
+
+The contract (see ``repro/harness/parallel.py``): ``--jobs N`` and the
+on-disk result cache are pure wall-clock optimisations — every simulated
+time, counter, and breakdown is bit-identical to a fresh serial run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import CSM_POLL, TMK_MC_POLL, CostModel
+from repro.harness import sweep
+from repro.harness.cache import (
+    ResultCache,
+    run_key,
+    sequential_key,
+    source_fingerprint,
+)
+from repro.harness.cli import main
+from repro.harness.runner import BatchPoint, ExperimentContext
+from repro.harness.parallel import PointSpec, run_points
+
+
+def _specs():
+    ctx = ExperimentContext(scale="tiny")
+    points = [
+        BatchPoint("sor", None),
+        BatchPoint("sor", CSM_POLL, 4),
+        BatchPoint("sor", TMK_MC_POLL, 4),
+        BatchPoint("water", CSM_POLL, 4),
+    ]
+    return [ctx._spec_for(p) for p in points]
+
+
+def _signature(result):
+    return (
+        result.exec_time,
+        result.network_bytes,
+        result.stats.aggregate_counters(),
+        dict(result.breakdown.time),
+    )
+
+
+def test_specs_pickle_cleanly():
+    for spec in _specs():
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+def test_run_points_parallel_matches_serial():
+    specs = _specs()
+    serial = run_points(specs, jobs=1)
+    fanned = run_points(specs, jobs=4)
+    assert len(serial) == len(fanned) == len(specs)
+    for a, b in zip(serial, fanned):
+        assert _signature(a) == _signature(b)
+
+
+def test_run_batch_jobs_matches_serial_context():
+    points = [
+        BatchPoint("sor", None),
+        BatchPoint("sor", CSM_POLL, 4),
+        BatchPoint("sor", TMK_MC_POLL, 4),
+    ]
+    serial = ExperimentContext(scale="tiny", jobs=1).run_batch(points)
+    fanned = ExperimentContext(scale="tiny", jobs=4).run_batch(points)
+    for a, b in zip(serial, fanned):
+        assert _signature(a) == _signature(b)
+
+
+def test_trace_runs_merge_in_point_order():
+    points = [
+        BatchPoint("sor", CSM_POLL, 4),
+        BatchPoint("sor", TMK_MC_POLL, 4),
+    ]
+    ctx = ExperimentContext(scale="tiny", jobs=2, trace=True)
+    ctx.run_batch(points)
+    assert [run.meta["variant"] for run in ctx.trace_runs] == [
+        "csm_poll",
+        "tmk_mc_poll",
+    ]
+    assert all(len(run.events) > 0 for run in ctx.trace_runs)
+
+
+def test_cache_hit_equals_fresh_run(tmp_path):
+    cache_dir = tmp_path / "cache"
+    points = [BatchPoint("sor", None), BatchPoint("sor", CSM_POLL, 4)]
+
+    cold = ExperimentContext(
+        scale="tiny", cache=ResultCache(cache_dir=cache_dir)
+    )
+    fresh = cold.run_batch(points)
+    assert cold.cache.stats.misses == 2
+    assert cold.cache.stats.hits == 0
+
+    warm = ExperimentContext(
+        scale="tiny", cache=ResultCache(cache_dir=cache_dir)
+    )
+    cached = warm.run_batch(points)
+    assert warm.cache.stats.hits == 2
+    assert warm.cache.stats.misses == 0
+    for a, b in zip(fresh, cached):
+        assert _signature(a) == _signature(b)
+
+
+def test_refresh_recomputes_and_overwrites(tmp_path):
+    cache_dir = tmp_path / "cache"
+    point = [BatchPoint("sor", CSM_POLL, 4)]
+    ExperimentContext(
+        scale="tiny", cache=ResultCache(cache_dir=cache_dir)
+    ).run_batch(point)
+
+    refreshing = ExperimentContext(
+        scale="tiny", cache=ResultCache(cache_dir=cache_dir, refresh=True)
+    )
+    refreshing.run_batch(point)
+    assert refreshing.cache.stats.hits == 0
+    assert refreshing.cache.stats.misses == 1
+    assert refreshing.cache.stats.stores == 1
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir=cache_dir)
+    ctx = ExperimentContext(scale="tiny", cache=cache)
+    ctx.run_batch([BatchPoint("sor", CSM_POLL, 4)])
+    (path,) = list(cache_dir.rglob("*.pkl"))
+    path.write_bytes(b"not a pickle")
+
+    again = ExperimentContext(
+        scale="tiny", cache=ResultCache(cache_dir=cache_dir)
+    )
+    result = again.run_batch([BatchPoint("sor", CSM_POLL, 4)])[0]
+    assert again.cache.stats.misses == 1
+    assert result.exec_time > 0
+
+
+def test_cache_keys_are_sensitive_to_inputs():
+    ctx = ExperimentContext(scale="tiny")
+    spec = ctx._spec_for(BatchPoint("sor", CSM_POLL, 4))
+    base = run_key(spec.app, spec.params, spec.run_config())
+
+    other_procs = ctx._spec_for(BatchPoint("sor", CSM_POLL, 8))
+    assert run_key("sor", spec.params, other_procs.run_config()) != base
+
+    other_variant = ctx._spec_for(BatchPoint("sor", TMK_MC_POLL, 4))
+    assert run_key("sor", spec.params, other_variant.run_config()) != base
+
+    swept = ctx._spec_for(
+        BatchPoint("sor", CSM_POLL, 4, costs=CostModel(mc_latency=99.0))
+    )
+    assert run_key("sor", spec.params, swept.run_config()) != base
+
+    other_params = dict(spec.params)
+    first = sorted(other_params)[0]
+    other_params[first] = other_params[first] + 1
+    assert run_key("sor", other_params, spec.run_config()) != base
+
+    # Stability: recomputing the same key yields the same digest.
+    assert run_key(spec.app, spec.params, spec.run_config()) == base
+
+
+def test_sequential_key_distinct_namespace():
+    ctx = ExperimentContext(scale="tiny")
+    spec = ctx._spec_for(BatchPoint("sor", None))
+    a = sequential_key("sor", spec.params, ctx.cluster.page_size, spec.costs)
+    b = sequential_key("sor", spec.params, ctx.cluster.page_size + 1024,
+                       spec.costs)
+    assert a != b
+    assert a == sequential_key(
+        "sor", spec.params, ctx.cluster.page_size, spec.costs
+    )
+
+
+def test_source_fingerprint_stable():
+    assert source_fingerprint() == source_fingerprint()
+    assert len(source_fingerprint()) == 64
+
+
+def test_sweep_shares_one_sequential_baseline(monkeypatch):
+    """The sweep satellite: N knob values must not mean N baseline runs."""
+    import repro.harness.runner as runner_mod
+
+    executed = []
+    real = runner_mod.run_points
+
+    def counting(specs, jobs=1, **kw):
+        executed.extend(specs)
+        return real(specs, jobs=jobs, **kw)
+
+    monkeypatch.setattr(runner_mod, "run_points", counting)
+    ctx = ExperimentContext(scale="tiny")
+    points = sweep.sweep_latency(
+        ctx, app="sor", nprocs=4, latencies=(2.6, 10.4, 20.8)
+    )
+    assert len(points) == 6  # 3 latencies x 2 variants
+    sequential_runs = [s for s in executed if s.is_sequential]
+    assert len(sequential_runs) == 1
+    # and the swept points all executed
+    assert len([s for s in executed if not s.is_sequential]) == 6
+
+
+def test_sweep_baseline_shared_across_both_sweeps(monkeypatch):
+    import repro.harness.runner as runner_mod
+
+    executed = []
+    real = runner_mod.run_points
+
+    def counting(specs, jobs=1, **kw):
+        executed.extend(specs)
+        return real(specs, jobs=jobs, **kw)
+
+    monkeypatch.setattr(runner_mod, "run_points", counting)
+    ctx = ExperimentContext(scale="tiny")
+    sweep.sweep_latency(ctx, app="sor", nprocs=4, latencies=(2.6,))
+    sweep.sweep_bandwidth(ctx, app="sor", nprocs=4, multipliers=(2.0,))
+    assert len([s for s in executed if s.is_sequential]) == 1
+
+
+def test_cli_no_cache_disables_cache(capsys):
+    assert main([
+        "table3", "--scale", "tiny", "--apps", "sor", "--procs", "4",
+        "--no-cache",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "cache:" not in err
+    assert "jobs=1" in err
+
+
+def test_cli_cache_footer_reports_hits(tmp_path, capsys):
+    argv = [
+        "table3", "--scale", "tiny", "--apps", "sor", "--procs", "4",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "2 miss(es)" in first.err
+
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "2 hit(s)" in second.err
+    assert first.out == second.out
+
+
+def test_cli_jobs_output_matches_serial(tmp_path, capsys):
+    base = [
+        "figure5", "--scale", "tiny", "--apps", "sor",
+        "--variants", "csm_poll", "--counts", "1", "4", "--no-cache",
+    ]
+    assert main(base) == 0
+    serial = capsys.readouterr().out
+    assert main(base + ["--jobs", "4"]) == 0
+    fanned = capsys.readouterr().out
+    assert serial == fanned

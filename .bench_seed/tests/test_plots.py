@@ -1,0 +1,70 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.harness import plots
+from repro.harness.figure6 import BreakdownBar
+from repro.stats import Category
+
+
+def test_line_chart_contains_series_marks():
+    chart = plots.line_chart(
+        {"csm": {1: 1.0, 8: 6.0}, "tmk": {1: 0.9, 8: 5.0}},
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "o=csm" in chart
+    assert "x=tmk" in chart
+    assert "processors" in chart
+
+
+def test_line_chart_rejects_empty():
+    with pytest.raises(ValueError):
+        plots.line_chart({"empty": {}})
+
+
+def test_line_chart_x_positions_ordered():
+    chart = plots.line_chart({"s": {1: 1.0, 2: 2.0, 32: 20.0}})
+    tick_line = [l for l in chart.splitlines() if "32" in l][0]
+    assert tick_line.index("1") < tick_line.index("2") < tick_line.index("32")
+
+
+def test_stacked_bar_length_tracks_total():
+    full = plots.stacked_bar([0.5, 0.5], ["user", "wait"], width=40)
+    half = plots.stacked_bar([0.25, 0.25], ["user", "wait"], width=40)
+    assert full.count("U") + full.count("W") == pytest.approx(40, abs=1)
+    assert half.count("U") + half.count("W") == pytest.approx(20, abs=1)
+    assert "0.50" in half
+
+
+def test_stacked_bar_validates_lengths():
+    with pytest.raises(ValueError):
+        plots.stacked_bar([0.5], ["a", "b"])
+
+
+def test_breakdown_chart():
+    normalized = {
+        Category.USER: 0.4,
+        Category.POLL: 0.05,
+        Category.WDOUBLE: 0.15,
+        Category.PROTOCOL: 0.2,
+        Category.COMM_WAIT: 0.2,
+    }
+    bars = [
+        BreakdownBar(app="sor", system="CSM", nprocs=32, normalized=normalized),
+        BreakdownBar(
+            app="sor",
+            system="TMK",
+            nprocs=32,
+            normalized={**normalized, Category.WDOUBLE: 0.0},
+        ),
+    ]
+    chart = plots.breakdown_chart(bars)
+    assert "sor" in chart and "CSM" in chart and "TMK" in chart
+    assert "U=user" in chart
+    # Cashmere's bar contains write-doubling cells; TreadMarks' doesn't.
+    lines = chart.splitlines()
+    csm_line = next(l for l in lines if "CSM" in l)
+    tmk_line = next(l for l in lines if "TMK" in l)
+    assert "W" in csm_line.split("|")[1]
+    assert "W" not in tmk_line.split("|")[1]

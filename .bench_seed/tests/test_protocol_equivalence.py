@@ -1,0 +1,163 @@
+"""Cross-protocol equivalence: every variant must produce identical data
+on the paper's characteristic sharing patterns."""
+
+import numpy as np
+import pytest
+
+from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, RunConfig
+from repro.core import Program, SharedArray, run_program, run_sequential
+
+from tests.helpers import values_match
+
+PATTERN_PROCS = (2, 4, 8, 16)
+
+
+def make_false_sharing_program():
+    """Many writers interleaved within pages (Barnes-like)."""
+
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "cells", np.float64, (2048,))
+        arr.initialize(np.zeros(2048))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        slots = list(range(0, 2048, 8))  # fixed global work list
+        for it in range(3):
+            for pos, idx in enumerate(slots):
+                if pos % env.nprocs != env.rank:
+                    continue
+                yield from arr.put(env, idx, it * 1000.0 + idx)
+            yield from env.barrier(0)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_all(env))
+        return None
+
+    return Program("false_sharing", setup, worker)
+
+
+def make_producer_consumer_program():
+    """Flag-synchronized pipeline (Gauss-like)."""
+
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "stages", np.float64, (64, 16))
+        arr.initialize(np.zeros((64, 16)))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        for stage in range(16):
+            owner = stage % env.nprocs
+            if owner == env.rank:
+                if stage == 0:
+                    row = np.arange(16, dtype=np.float64)
+                else:
+                    prev = yield from arr.read_rows(env, stage - 1, stage)
+                    row = prev[0] * 2.0 + 1.0
+                yield from arr.write_rows(env, stage, row[np.newaxis, :])
+                yield from env.flag_set(stage)
+            else:
+                yield from env.flag_wait(stage)
+        yield from env.barrier(0)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_rows(env, 15, 16))
+        return None
+
+    return Program("producer_consumer", setup, worker)
+
+
+def make_migratory_program():
+    """Lock-protected read-modify-write chains (Water-like)."""
+
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "state", np.float64, (64,))
+        arr.initialize(np.zeros(64))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        # A fixed global schedule of lock-protected increments; each step
+        # is executed by exactly one rank, so the final values do not
+        # depend on the processor count.
+        for step in range(48):
+            if step % env.nprocs != env.rank:
+                continue
+            slot = step % 8
+            yield from env.lock_acquire(slot)
+            value = yield from arr.get(env, slot)
+            yield from arr.put(env, slot, value + step + 1)
+            yield from env.lock_release(slot)
+        yield from env.barrier(0)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_all(env))
+        return None
+
+    return Program("migratory", setup, worker)
+
+
+def make_sparse_update_program():
+    """Few words dirtied per page (Ilink-like)."""
+
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "sparse", np.float64, (8192,))
+        arr.initialize(np.ones(8192))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        slots = [3 + 37 * k for k in range(64) if 3 + 37 * k < 8192]
+        for it in range(2):
+            for pos, idx in enumerate(slots):
+                if pos % env.nprocs != env.rank:
+                    continue
+                value = yield from arr.get(env, idx)
+                yield from arr.put(env, idx, value * 1.5 + it)
+            yield from env.barrier(0)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_all(env))
+        return None
+
+    return Program("sparse", setup, worker)
+
+
+PATTERNS = {
+    "false_sharing": make_false_sharing_program,
+    "producer_consumer": make_producer_consumer_program,
+    "migratory": make_migratory_program,
+    "sparse": make_sparse_update_program,
+}
+
+
+@pytest.mark.parametrize("pattern", sorted(PATTERNS))
+@pytest.mark.parametrize(
+    "variant", ALL_VARIANTS + EXTENSION_VARIANTS, ids=lambda v: v.name
+)
+def test_pattern_matches_sequential(pattern, variant):
+    program = PATTERNS[pattern]()
+    sequential = run_sequential(program, {})
+    for nprocs in PATTERN_PROCS:
+        cfg = RunConfig(variant=variant, nprocs=nprocs)
+        if nprocs > cfg.compute_cpus_available:
+            continue
+        result = run_program(program, cfg, {})
+        assert values_match(sequential.values[0], result.values[0]), (
+            f"{pattern} diverged under {variant.name} at {nprocs} procs"
+        )
+
+
+@pytest.mark.parametrize("pattern", sorted(PATTERNS))
+def test_pattern_deterministic(pattern):
+    """Two runs of the same configuration are bit-identical in data and
+    simulated time."""
+    program_a = PATTERNS[pattern]()
+    program_b = PATTERNS[pattern]()
+    from repro.config import CSM_POLL
+
+    a = run_program(program_a, RunConfig(variant=CSM_POLL, nprocs=8), {})
+    b = run_program(program_b, RunConfig(variant=CSM_POLL, nprocs=8), {})
+    assert a.exec_time == b.exec_time
+    assert values_match(a.values[0], b.values[0])

@@ -1,0 +1,204 @@
+"""Tests for the program runner, Env, and RunResult plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CSM_POLL,
+    TMK_MC_POLL,
+    ClusterConfig,
+    CostModel,
+    RunConfig,
+    WorkingSet,
+)
+from repro.core import Program, SharedArray, run_program, run_sequential
+from repro.stats import Category
+
+
+def trivial_program(worker):
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "x", np.float64, (64,))
+        arr.initialize(np.zeros(64))
+        return {"arr": arr}
+
+    return Program("trivial", setup, worker)
+
+
+def test_run_result_fields():
+    def worker(env, shared, params):
+        yield from env.compute(100.0)
+        env.stop_timer()
+        return env.rank
+
+    result = run_program(
+        trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=4), {}
+    )
+    assert result.program == "trivial"
+    assert result.values == [0, 1, 2, 3]
+    assert result.exec_time >= 100.0
+    assert result.config.nprocs == 4
+
+
+def test_speedup_over():
+    def worker(env, shared, params):
+        yield from env.compute(1000.0)
+        env.stop_timer()
+        return None
+
+    seq = run_sequential(trivial_program(worker), {})
+    par = run_program(
+        trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=2), {}
+    )
+    assert par.speedup_over(seq.exec_time) == pytest.approx(
+        seq.exec_time / par.exec_time
+    )
+
+
+def test_stop_timer_excludes_epilogue():
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        yield from env.compute(50.0)
+        env.stop_timer()
+        if env.rank == 0:
+            # Epilogue faults on the whole array: not reported.
+            _ = yield from arr.read_all(env)
+        return None
+
+    result = run_program(
+        trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=2), {}
+    )
+    assert result.exec_time < 100.0
+    assert result.stats[0].reported_counters["read_faults"] == 0
+
+
+def test_params_passed_through():
+    captured = {}
+
+    def setup(space, params):
+        captured["setup"] = params["value"]
+        arr = SharedArray.alloc(space, "x", np.float64, (8,))
+        arr.initialize(np.zeros(8))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        captured["worker"] = params["value"]
+        yield from env.compute(1.0)
+        env.stop_timer()
+        return None
+
+    run_program(
+        Program("p", setup, worker),
+        RunConfig(variant=CSM_POLL, nprocs=1),
+        {"value": 99},
+    )
+    assert captured == {"setup": 99, "worker": 99}
+
+
+def test_compute_with_working_set_inflates_cashmere():
+    costs = CostModel()
+    ws = WorkingSet(primary=costs.l1_bytes, doubled=costs.l1_bytes)
+
+    def worker(env, shared, params):
+        yield from env.compute(1000.0, ws=ws)
+        env.stop_timer()
+        return None
+
+    result = run_program(
+        trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {}
+    )
+    assert result.stats[0].reported_time[Category.WDOUBLE] > 0
+    assert result.exec_time > 1000.0
+
+    tmk = run_program(
+        trivial_program(worker), RunConfig(variant=TMK_MC_POLL, nprocs=1), {}
+    )
+    # TreadMarks declares no twin pressure here: no inflation.
+    assert tmk.stats[0].reported_time[Category.USER] == pytest.approx(1000.0)
+
+
+def test_sequential_pays_inherent_cache_cost():
+    costs = CostModel()
+    big = WorkingSet(primary=4 * costs.l1_bytes)
+    small = WorkingSet(primary=1024)
+
+    def make(ws):
+        def worker(env, shared, params):
+            yield from env.compute(1000.0, ws=ws)
+            env.stop_timer()
+            return None
+
+        return trivial_program(worker)
+
+    slow = run_sequential(make(big), {})
+    fast = run_sequential(make(small), {})
+    assert slow.exec_time > fast.exec_time
+
+
+def test_sequential_ignores_polls():
+    def worker(env, shared, params):
+        yield from env.compute(100.0, polls=100000)
+        env.stop_timer()
+        return None
+
+    seq = run_sequential(trivial_program(worker), {})
+    assert seq.exec_time == pytest.approx(100.0)
+
+
+def test_custom_placement_respected():
+    def worker(env, shared, params):
+        yield from env.compute(1.0)
+        env.stop_timer()
+        return env.proc.node.nid
+
+    result = run_program(
+        trivial_program(worker),
+        RunConfig(variant=CSM_POLL, nprocs=2),
+        {},
+        placement=[(5, 0), (5, 1)],
+    )
+    assert result.values == [5, 5]
+
+
+def test_worker_exception_propagates():
+    def worker(env, shared, params):
+        yield from env.compute(1.0)
+        raise RuntimeError("application bug")
+
+    with pytest.raises(RuntimeError, match="application bug"):
+        run_program(
+            trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=1), {}
+        )
+
+
+def test_network_bytes_reported():
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        if env.rank == 0:
+            yield from arr.put(env, 0, 1.0)
+        yield from env.barrier(0)
+        if env.rank == 1:
+            _ = yield from arr.get(env, 0)
+        yield from env.barrier(1)
+        env.stop_timer()
+        return None
+
+    result = run_program(
+        trivial_program(worker), RunConfig(variant=CSM_POLL, nprocs=2), {}
+    )
+    assert result.network_bytes > 0
+
+
+def test_smaller_cluster_config():
+    cluster = ClusterConfig(n_nodes=2, cpus_per_node=2, page_size=4096)
+
+    def worker(env, shared, params):
+        yield from env.compute(10.0)
+        env.stop_timer()
+        return env.proc.node.nid
+
+    result = run_program(
+        trivial_program(worker),
+        RunConfig(variant=CSM_POLL, nprocs=4, cluster=cluster),
+        {},
+    )
+    assert sorted(set(result.values)) == [0, 1]

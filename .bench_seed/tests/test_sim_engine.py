@@ -1,0 +1,386 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    DeadlockError,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock(engine):
+    log = []
+
+    def proc():
+        yield engine.timeout(5.0)
+        log.append(engine.now)
+        yield engine.timeout(2.5)
+        log.append(engine.now)
+
+    engine.process(proc())
+    engine.run()
+    assert log == [5.0, 7.5]
+
+
+def test_zero_delay_timeout_fires(engine):
+    def proc():
+        yield engine.timeout(0.0)
+        return "done"
+
+    p = engine.process(proc())
+    engine.run()
+    assert p.triggered
+    assert p.value == "done"
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.timeout(-1.0)
+
+
+def test_event_value_passed_to_waiter(engine):
+    event = engine.event()
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append(value)
+
+    def firer():
+        yield engine.timeout(3.0)
+        event.succeed("payload")
+
+    engine.process(waiter())
+    engine.process(firer())
+    engine.run()
+    assert got == ["payload"]
+
+
+def test_event_cannot_fire_twice(engine):
+    event = engine.event()
+    event.succeed()
+    with pytest.raises(RuntimeError):
+        event.succeed()
+    engine.run()
+
+
+def test_waiting_on_triggered_event_returns_immediately(engine):
+    event = engine.event()
+    event.succeed(42)
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((engine.now, value))
+
+    engine.process(waiter())
+    engine.run()
+    assert got == [(0.0, 42)]
+
+
+def test_same_time_events_fire_in_schedule_order(engine):
+    order = []
+
+    def make(name):
+        def proc():
+            yield engine.timeout(1.0)
+            order.append(name)
+
+        return proc
+
+    for name in "abcd":
+        engine.process(make(name)())
+    engine.run()
+    assert order == list("abcd")
+
+
+def test_any_of_returns_first_fired(engine):
+    slow = engine.timeout(10.0)
+    fast = engine.timeout(2.0)
+    got = []
+
+    def waiter():
+        fired = yield engine.any_of([slow, fast])
+        got.append((engine.now, fired is fast))
+
+    engine.process(waiter())
+    engine.run()
+    assert got == [(2.0, True)]
+
+
+def test_any_of_with_already_triggered_child(engine):
+    event = engine.event()
+    event.succeed("x")
+    combo = engine.any_of([engine.timeout(5.0), event])
+    assert combo.triggered
+    assert combo.value is event
+
+
+def test_any_of_requires_children(engine):
+    with pytest.raises(ValueError):
+        engine.any_of([])
+
+
+def test_process_return_value(engine):
+    def proc():
+        yield engine.timeout(1.0)
+        return 123
+
+    p = engine.process(proc())
+    engine.run()
+    assert p.value == 123
+
+
+def test_process_chain_with_yield_from(engine):
+    def inner():
+        yield engine.timeout(4.0)
+        return "inner-result"
+
+    def outer():
+        result = yield from inner()
+        return result + "!"
+
+    p = engine.process(outer())
+    engine.run()
+    assert p.value == "inner-result!"
+
+
+def test_interrupt_thrown_into_process(engine):
+    caught = []
+
+    def victim():
+        try:
+            yield engine.timeout(100.0)
+        except Interrupt as exc:
+            caught.append((engine.now, exc.cause))
+
+    p = engine.process(victim())
+
+    def attacker():
+        yield engine.timeout(7.0)
+        p.interrupt("stop")
+
+    engine.process(attacker())
+    engine.run()
+    assert caught == [(7.0, "stop")]
+
+
+def test_interrupt_coalesces(engine):
+    caught = []
+
+    def victim():
+        try:
+            yield engine.timeout(100.0)
+        except Interrupt:
+            caught.append(engine.now)
+        yield engine.timeout(1.0)
+
+    p = engine.process(victim())
+
+    def attacker():
+        yield engine.timeout(5.0)
+        p.interrupt()
+        p.interrupt()  # second interrupt before delivery coalesces
+
+    engine.process(attacker())
+    engine.run()
+    assert caught == [5.0]
+
+
+def test_interrupt_finished_process_rejected(engine):
+    def quick():
+        return None
+        yield
+
+    p = engine.process(quick())
+    engine.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_stale_wakeup_after_interrupt_is_ignored(engine):
+    # Process interrupted away from a timeout must not be resumed again
+    # when that timeout later fires.
+    resumed = []
+
+    def victim():
+        try:
+            yield engine.timeout(10.0)
+            resumed.append("timeout")
+        except Interrupt:
+            resumed.append("interrupt")
+        yield engine.timeout(50.0)
+        resumed.append("second")
+
+    p = engine.process(victim())
+
+    def attacker():
+        yield engine.timeout(3.0)
+        p.interrupt()
+
+    engine.process(attacker())
+    engine.run()
+    assert resumed == ["interrupt", "second"]
+
+
+def test_deadlock_detected(engine):
+    def stuck():
+        yield engine.event()  # never fires
+
+    engine.process(stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError, match="stuck-proc"):
+        engine.run()
+
+
+def test_daemon_process_does_not_deadlock(engine):
+    def daemon_proc():
+        yield engine.event()
+
+    engine.process(daemon_proc(), daemon=True)
+    engine.run()  # no exception
+
+
+def test_run_until_stops_at_time(engine):
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield engine.timeout(10.0)
+            log.append(engine.now)
+
+    engine.process(proc(), daemon=True)
+    engine.run(until=35.0)
+    assert log == [10.0, 20.0, 30.0]
+    assert engine.now == 35.0
+
+
+def test_call_at(engine):
+    fired = []
+    engine.call_at(12.0, lambda: fired.append(engine.now))
+
+    def proc():
+        yield engine.timeout(20.0)
+
+    engine.process(proc())
+    engine.run()
+    assert fired == [12.0]
+
+
+def test_call_at_rejects_past(engine):
+    def proc():
+        yield engine.timeout(5.0)
+        with pytest.raises(ValueError):
+            engine.call_at(1.0, lambda: None)
+
+    engine.process(proc())
+    engine.run()
+
+
+def test_yielding_non_event_raises(engine):
+    def bad():
+        yield 42
+
+    engine.process(bad())
+    with pytest.raises(TypeError, match="must yield Event"):
+        engine.run()
+
+
+def test_determinism_across_runs():
+    def build():
+        eng = Engine()
+        trace = []
+
+        def proc(name, delay):
+            for i in range(3):
+                yield eng.timeout(delay)
+                trace.append((name, eng.now))
+
+        for i in range(5):
+            eng.process(proc(f"p{i}", 1.0 + i * 0.1))
+        eng.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_anyof_detaches_callbacks_from_losers(engine):
+    """Regression: AnyOf must deregister from children that did not
+    fire, or long-lived events accumulate one dead callback per wait
+    (this leaked gigabytes in lock-heavy runs)."""
+    long_lived = engine.event()
+
+    def waiter():
+        for _ in range(50):
+            timeout = engine.timeout(1.0)
+            yield engine.any_of([timeout, long_lived])
+
+    engine.process(waiter())
+    engine.run()
+    assert len(long_lived.live_callbacks()) <= 1
+    # Tombstoned cells are compacted away, not accumulated forever.
+    assert len(long_lived.callbacks) <= 16
+
+
+def test_anyof_winner_callbacks_cleared(engine):
+    fast = engine.timeout(1.0)
+    slow = engine.event()
+    combo = engine.any_of([fast, slow])
+
+    def waiter():
+        fired = yield combo
+        assert fired is fast
+
+    engine.process(waiter())
+    engine.run()
+    assert slow.live_callbacks() == []
+
+
+def test_cancel_callback_is_constant_time_tombstone(engine):
+    event = engine.event()
+    seen = []
+    cells = [event.add_callback(lambda e, i=i: seen.append(i))
+             for i in range(4)]
+    event.cancel_callback(cells[1])
+    event.cancel_callback(cells[1])  # double-cancel is a no-op
+    event.succeed()
+    engine.run()
+    assert seen == [0, 2, 3]
+
+
+def test_cancel_after_fire_is_harmless(engine):
+    event = engine.event()
+    cell = event.add_callback(lambda e: None)
+    event.succeed()
+    engine.run()
+    event.cancel_callback(cell)  # fired events accept late cancels
+
+
+def test_interrupt_then_fire_at_same_instant_skips_resume(engine):
+    # A process interrupted away from an event that fires at the same
+    # simulated instant (after the interrupt was posted) must take the
+    # interrupt; the tombstoned resume callback is skipped at delivery.
+    log = []
+    event = engine.event()
+
+    def victim():
+        try:
+            yield event
+            log.append("event")
+        except Interrupt:
+            log.append("interrupt")
+
+    p = engine.process(victim())
+
+    def attacker():
+        yield engine.timeout(1.0)
+        p.interrupt()
+        event.succeed()
+
+    engine.process(attacker())
+    engine.run()
+    assert log == ["interrupt"]

@@ -1,0 +1,90 @@
+"""Unit tests for statistics accounting and the Figure 6 breakdown."""
+
+import pytest
+
+from repro.stats import Breakdown, Category, ProcStats, StatsBoard
+
+
+def test_charge_and_total():
+    stats = ProcStats(0)
+    stats.charge(Category.USER, 10.0)
+    stats.charge(Category.PROTOCOL, 5.0)
+    assert stats.total_time == 15.0
+
+
+def test_negative_charge_rejected():
+    stats = ProcStats(0)
+    with pytest.raises(ValueError):
+        stats.charge(Category.USER, -1.0)
+
+
+def test_counters():
+    stats = ProcStats(0)
+    stats.bump("read_faults")
+    stats.bump("read_faults", 3)
+    assert stats.counters["read_faults"] == 4
+
+
+def test_freeze_snapshots_state():
+    stats = ProcStats(0)
+    stats.charge(Category.USER, 10.0)
+    stats.bump("messages", 2)
+    stats.freeze(now=123.0)
+    # Post-freeze activity (the verification epilogue) is not reported.
+    stats.charge(Category.PROTOCOL, 100.0)
+    stats.bump("messages", 50)
+    assert stats.finish_time == 123.0
+    assert stats.reported_time[Category.PROTOCOL] == 0.0
+    assert stats.reported_counters["messages"] == 2
+    assert stats.total_time == 10.0
+
+
+def test_unfrozen_reports_live():
+    stats = ProcStats(0)
+    stats.charge(Category.USER, 7.0)
+    assert stats.reported_time[Category.USER] == 7.0
+    assert not stats.frozen
+
+
+def test_board_aggregation():
+    board = StatsBoard(3)
+    for pid in range(3):
+        board[pid].charge(Category.USER, 10.0 * (pid + 1))
+        board[pid].bump("messages", pid)
+        board[pid].finish_time = 100.0 * (pid + 1)
+    assert board.total_time(Category.USER) == 60.0
+    assert board.total("messages") == 3
+    assert board.finish_time == 300.0
+    assert board.aggregate_counters()["messages"] == 3
+
+
+def test_breakdown_fractions_sum_to_one():
+    board = StatsBoard(2)
+    board[0].charge(Category.USER, 30.0)
+    board[0].charge(Category.COMM_WAIT, 10.0)
+    board[1].charge(Category.USER, 40.0)
+    board[1].charge(Category.PROTOCOL, 20.0)
+    breakdown = Breakdown.from_stats(board)
+    fractions = breakdown.fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions[Category.USER] == pytest.approx(0.7)
+
+
+def test_breakdown_normalized_against_reference():
+    board = StatsBoard(1)
+    board[0].charge(Category.USER, 50.0)
+    breakdown = Breakdown.from_stats(board)
+    normalized = breakdown.normalized(100.0)
+    assert normalized[Category.USER] == pytest.approx(0.5)
+
+
+def test_breakdown_normalized_rejects_zero_reference():
+    board = StatsBoard(1)
+    with pytest.raises(ValueError):
+        Breakdown.from_stats(board).normalized(0.0)
+
+
+def test_empty_breakdown_fractions():
+    board = StatsBoard(1)
+    fractions = Breakdown.from_stats(board).fractions()
+    assert all(v == 0.0 for v in fractions.values())

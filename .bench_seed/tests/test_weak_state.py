@@ -1,0 +1,112 @@
+"""The legacy weak-state Cashmere protocol: correct, but worse on the
+patterns the implemented protocol was redesigned for."""
+
+import numpy as np
+import pytest
+
+from repro.config import CSM_POLL, RunConfig
+from repro.core import Program, SharedArray, run_program
+
+from tests.helpers import values_match
+
+
+def private_pages_program():
+    """Each processor repeatedly writes its own private pages with
+    barriers between iterations — exclusive mode's best case and the
+    weak state's worst case."""
+
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "data", np.float64, (8192,))
+        arr.initialize(np.zeros(8192))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        base = env.rank * 2048
+        for it in range(5):
+            yield from arr.write_range(
+                env, base, np.full(1024, float(it))
+            )
+            yield from env.barrier(0)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_all(env))
+        return None
+
+    return Program("private_pages", setup, worker)
+
+
+def producer_consumer_program():
+    def setup(space, params):
+        arr = SharedArray.alloc(space, "data", np.float64, (2048,))
+        arr.initialize(np.zeros(2048))
+        return {"arr": arr}
+
+    def worker(env, shared, params):
+        arr = shared["arr"]
+        for it in range(5):
+            if env.rank == 0:
+                yield from arr.put(env, it, it + 1.0)
+            yield from env.barrier(0)
+            value = yield from arr.get(env, it)
+            assert value == it + 1.0
+            yield from env.barrier(1)
+        env.stop_timer()
+        if env.rank == 0:
+            return (yield from arr.read_all(env))
+        return None
+
+    return Program("producer_consumer", setup, worker)
+
+
+@pytest.mark.parametrize(
+    "make", [private_pages_program, producer_consumer_program]
+)
+def test_weak_state_is_correct(make):
+    normal = run_program(
+        make(), RunConfig(variant=CSM_POLL, nprocs=4), {}
+    )
+    weak = run_program(
+        make(), RunConfig(variant=CSM_POLL, nprocs=4, weak_state=True), {}
+    )
+    assert values_match(normal.values[0], weak.values[0])
+
+
+def test_weak_state_hurts_private_pages():
+    """'Pages in exclusive mode experience only the initial write fault'
+    — the weak state re-faults private pages every interval."""
+    normal = run_program(
+        private_pages_program(), RunConfig(variant=CSM_POLL, nprocs=4), {}
+    )
+    weak = run_program(
+        private_pages_program(),
+        RunConfig(variant=CSM_POLL, nprocs=4, weak_state=True),
+        {},
+    )
+    assert weak.counter("write_faults") > 3 * normal.counter("write_faults")
+    assert weak.exec_time > normal.exec_time
+
+
+def test_weak_state_never_sets_exclusive_or_notices():
+    from repro.core.cashmere.protocol import CashmereProtocol
+
+    created = []
+    original = CashmereProtocol.__init__
+
+    def spy(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        created.append(self)
+
+    CashmereProtocol.__init__ = spy
+    try:
+        result = run_program(
+            private_pages_program(),
+            RunConfig(variant=CSM_POLL, nprocs=4, weak_state=True),
+            {},
+        )
+    finally:
+        CashmereProtocol.__init__ = original
+    protocol = created[-1]
+    assert result.counter("write_notices_sent") == 0
+    for entry in protocol.directory.known_entries().values():
+        assert entry.exclusive_holder is None

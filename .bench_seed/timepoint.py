@@ -1,0 +1,36 @@
+"""Time one 8p small point: python timepoint.py APP VARIANT [REPS]."""
+import json
+import sys
+import time
+
+from repro.apps import registry
+from repro.config import ClusterConfig, CostModel
+from repro.harness.parallel import PointSpec, execute_point
+
+
+def main():
+    app, variant = sys.argv[1], sys.argv[2]
+    reps = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    module = registry.load(app)
+    spec = PointSpec(
+        app=app,
+        variant_name=variant,
+        nprocs=8,
+        params=module.default_params("small"),
+        cluster=ClusterConfig(),
+        costs=CostModel(),
+        warm_start=True,
+    )
+    best = None
+    exec_time = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        result = execute_point(spec)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+        exec_time = result.exec_time
+    print(json.dumps({"seconds": best, "exec_time": exec_time}))
+
+
+if __name__ == "__main__":
+    main()

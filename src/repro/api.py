@@ -1,0 +1,193 @@
+"""The stable programmatic facade over the reproduction.
+
+Four entry points cover everything callers used to reach by importing
+driver and protocol internals:
+
+``list_apps()``
+    The application registry, by name.
+``run_point(app, variant, nprocs, ...)``
+    One simulation — an application under one protocol variant on one
+    processor count (or its sequential baseline) — returning the core
+    :class:`~repro.core.runtime.program.RunResult`.
+``build_system(variant, nprocs, ...)``
+    A fully wired simulated cluster (engine, network, messenger,
+    protocol) with no application attached, for tests and
+    microbenchmarks that drive the protocol directly.
+``run_experiment(driver, ...)``
+    One paper artifact — ``table1/2/3``, ``figure5/6``, or ``sweep`` —
+    returning the common :class:`~repro.harness.results.DriverResult`
+    envelope (typed rows + counters + breakdown + provenance + rendered
+    text).
+
+Wall-clock toggles travel as a :class:`~repro.options.SimOptions`
+(CLI: ``--no-fastpath``, ``--debug-checks``, ``--no-calqueue``); every
+combination is simulated-result bit-identical.  The full reference with
+a migration table from the old entry points lives in ``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.apps import registry
+from repro.config import (
+    ClusterConfig,
+    CostModel,
+    RunConfig,
+    Variant,
+    variant_by_name,
+)
+from repro.core.runtime.program import (
+    RunResult,
+    System,
+    build_system as _build_system,
+)
+from repro.harness.parallel import SEQUENTIAL, PointSpec, execute_point
+from repro.harness.results import DriverResult
+from repro.options import SimOptions
+
+#: Drivers ``run_experiment`` accepts, in the CLI's order.
+EXPERIMENTS = ("table1", "table2", "table3", "figure5", "figure6", "sweep")
+
+VariantLike = Union[str, Variant, None]
+
+
+def list_apps() -> List[str]:
+    """Names of the registered benchmark applications."""
+    return list(registry.APP_NAMES)
+
+
+def _as_variant(variant: VariantLike) -> Optional[Variant]:
+    if variant is None or isinstance(variant, Variant):
+        return variant
+    return variant_by_name(variant)
+
+
+def run_point(
+    app: str,
+    variant: VariantLike = None,
+    nprocs: int = 1,
+    *,
+    scale: str = "small",
+    params: Optional[Dict[str, Any]] = None,
+    cluster: Optional[ClusterConfig] = None,
+    costs: Optional[CostModel] = None,
+    warm_start: bool = True,
+    trace: bool = False,
+    options: Optional[SimOptions] = None,
+    **overrides: Any,
+) -> RunResult:
+    """Run one simulation point and return its :class:`RunResult`.
+
+    ``variant=None`` runs the app's sequential (unlinked) baseline.
+    ``params`` defaults to the app's ``default_params(scale)``;
+    ``costs`` defaults to the plain paper cost model (the harness's
+    per-app scaled-cache overrides apply only through
+    :func:`run_experiment` / ``ExperimentContext``, matching the
+    long-standing ``run_program`` behaviour).  Extra keyword arguments
+    become :class:`~repro.config.RunConfig` overrides
+    (``first_touch_homes=False``, ``weak_state=True``, ...).
+    """
+    resolved = _as_variant(variant)
+    module = registry.load(app)
+    spec = PointSpec(
+        app=app,
+        variant_name=SEQUENTIAL if resolved is None else resolved.name,
+        nprocs=nprocs,
+        params=dict(params) if params is not None else module.default_params(scale),
+        cluster=cluster or ClusterConfig(),
+        costs=costs or CostModel(),
+        warm_start=warm_start,
+        trace=trace,
+        overrides=overrides,
+        options=options,
+    )
+    return execute_point(spec)
+
+
+def build_system(
+    variant: VariantLike,
+    nprocs: int,
+    *,
+    cluster: Optional[ClusterConfig] = None,
+    costs: Optional[CostModel] = None,
+    warm_start: bool = False,
+    trace: bool = False,
+    space=None,
+    **overrides: Any,
+) -> System:
+    """Assemble a started simulated cluster with no application.
+
+    Returns a :class:`~repro.core.runtime.program.System` whose engine,
+    messenger, and protocol are live — drive them directly with
+    ``system.engine.process(...)`` / ``system.engine.run()``.
+    """
+    resolved = _as_variant(variant)
+    if resolved is None:
+        raise ValueError("build_system needs a protocol variant")
+    cfg = RunConfig(
+        variant=resolved,
+        nprocs=nprocs,
+        cluster=cluster or ClusterConfig(),
+        costs=costs or CostModel(),
+        warm_start=warm_start,
+        trace=trace,
+        **overrides,
+    )
+    return _build_system(cfg, space=space)
+
+
+def run_experiment(
+    driver: str,
+    *,
+    ctx=None,
+    scale: str = "small",
+    warm_start: bool = True,
+    jobs: int = 1,
+    cache=None,
+    options: Optional[SimOptions] = None,
+    **driver_kwargs: Any,
+) -> DriverResult:
+    """Run one experiment driver and return its result envelope.
+
+    ``driver`` is one of :data:`EXPERIMENTS`.  Pass an existing
+    :class:`~repro.harness.runner.ExperimentContext` as ``ctx`` to
+    share caches/baselines across invocations; otherwise one is built
+    from ``scale``/``warm_start``/``jobs``/``cache``.  ``options``
+    (when given) is applied process-wide and shipped to worker
+    processes.  Driver-specific parameters (``apps=``, ``variants=``,
+    ``counts=``, ``nprocs=``, ``knob=``...) pass through.
+    """
+    import importlib
+
+    if driver not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {driver!r}; known: {EXPERIMENTS}"
+        )
+    if options is not None:
+        options.apply()
+    if ctx is None:
+        from repro.harness.runner import ExperimentContext
+
+        ctx = ExperimentContext(
+            scale=scale,
+            warm_start=warm_start,
+            jobs=jobs,
+            cache=cache,
+            options=options,
+        )
+    module = importlib.import_module(f"repro.harness.{driver}")
+    return module.run(ctx=ctx, **driver_kwargs)
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "DriverResult",
+    "RunResult",
+    "SimOptions",
+    "System",
+    "build_system",
+    "list_apps",
+    "run_experiment",
+    "run_point",
+]

@@ -119,7 +119,9 @@ def worker(env, shared: Dict, params: Dict):
             yield from env.flag_set(k)
         else:
             yield from env.flag_wait(k)
-        pivot = yield from matrix.read_rows(env, k, k + 1)
+        pivot = matrix.rows(env, k, k + 1)  # hot: no generator frame
+        if pivot is None:
+            pivot = yield from matrix.read_rows(env, k, k + 1)
         pivot = pivot[0]
         my_rows = [r for r in mine if r > k]
         if not my_rows:
@@ -132,7 +134,9 @@ def worker(env, shared: Dict, params: Dict):
             ws=_ws(n, k, rank_rows, row_bytes),
         )
         for r in my_rows:
-            current = yield from matrix.read_rows(env, r, r + 1)
+            current = matrix.rows(env, r, r + 1)
+            if current is None:
+                current = yield from matrix.read_rows(env, r, r + 1)
             current = current[0]
             factor = current[k] / pivot[k]
             updated = current[k : n + 1] - factor * pivot[k : n + 1]

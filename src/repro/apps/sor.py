@@ -81,7 +81,9 @@ def worker(env, shared: Dict, params: Dict):
     for _ in range(iters):
         for color, source in ((red, black), (black, red)):
             if cells:
-                halo = yield from source.read_rows(env, ulo - 1, uhi + 1)
+                halo = source.rows(env, ulo - 1, uhi + 1)
+                if halo is None:
+                    halo = yield from source.read_rows(env, ulo - 1, uhi + 1)
             yield from env.compute(
                 cells * US_PER_CELL, polls=cells * POLLS_PER_CELL, ws=ws
             )

@@ -26,6 +26,14 @@ from repro.sim import Engine, Event
 from repro.stats import Category, StatsBoard
 
 
+def _interrupt_fire(proc: "Processor") -> None:
+    """Kernel signal delivery lands: disturb the running compute block."""
+    proc._interrupt_pending = False
+    disturb = proc._disturb
+    if disturb is not None and not disturb.triggered:
+        disturb.succeed()
+
+
 class Processor:
     """One CPU: compute, wait, and remote-request service."""
 
@@ -46,6 +54,9 @@ class Processor:
         self.mechanism = mechanism
         self.costs = costs
         self.stats = stats
+        # Cached ProcStats: one attribute load on every charge/bump
+        # instead of a bounds check plus StatsBoard.__getitem__.
+        self._stat = stats[pid] if pid >= 0 else None
         self.mailbox: Deque = deque()
         self.server: Optional[Callable] = None  # request -> generator
         self._arrival: Optional[Event] = None
@@ -58,12 +69,16 @@ class Processor:
     # -- accounting -----------------------------------------------------
 
     def charge(self, category: Category, dt: float) -> None:
-        if self.pid >= 0:
-            self.stats[self.pid].charge(category, dt)
+        stat = self._stat
+        if stat is not None:
+            if dt < 0:
+                raise ValueError(f"negative charge {dt} to {category}")
+            stat.time[category] += dt
 
     def bump(self, counter: str, n: int = 1) -> None:
-        if self.pid >= 0:
-            self.stats[self.pid].bump(counter, n)
+        stat = self._stat
+        if stat is not None:
+            stat.counters[counter] += n
 
     # -- request delivery -------------------------------------------------
 
@@ -79,16 +94,11 @@ class Processor:
         """Schedule the kernel's (slow) signal delivery for a request."""
         if self._interrupt_pending:
             return  # one in-flight signal covers queued requests
-
         self._interrupt_pending = True
-
-        def fire() -> None:
-            self._interrupt_pending = False
-            if self._disturb is not None and not self._disturb.triggered:
-                self._disturb.succeed()
-
-        self.engine.call_at(
-            self.engine.now + self.costs.interrupt_latency, fire
+        self.engine.schedule(
+            self.engine.now + self.costs.interrupt_latency,
+            _interrupt_fire,
+            self,
         )
 
     def _arrival_event(self) -> Event:
@@ -126,8 +136,8 @@ class Processor:
         """
         if us < 0:
             raise ValueError("negative compute time")
-        shares = dict(shares) if shares else {Category.USER: 1.0}
         if polls and self.mechanism is Mechanism.POLL:
+            shares = dict(shares) if shares else {Category.USER: 1.0}
             poll_us = polls * self.costs.poll_check
             total = us + poll_us
             if total > 0:
@@ -137,18 +147,29 @@ class Processor:
                     shares.get(Category.POLL, 0.0) + poll_us / total
                 )
             us = total
+        elif shares:
+            shares = dict(shares)
+        else:
+            shares = None  # the common all-USER block: no dict at all
         remaining = us
         while remaining > 1e-9:
             if self.mailbox and self.mechanism is not Mechanism.INTERRUPT:
                 yield from self.drain()
             start = self.engine.now
+            if (
+                not interruptible
+                or self.mechanism is Mechanism.PROTOCOL_PROCESSOR
+            ):
+                # Nothing can cut the block short: sleep it out as one
+                # bare delay (no Timeout object, no AnyOf).
+                yield remaining
+                self._charge_shares(
+                    shares, min(self.engine.now - start, remaining)
+                )
+                break
             timeout = self.engine.timeout(remaining)
-            disturb = self._disturb_event() if interruptible else None
-            if disturb is None:
-                yield timeout
-                fired = timeout
-            else:
-                fired = yield self.engine.any_of([timeout, disturb])
+            disturb = self._disturb_event()  # POLL/INTERRUPT: never None
+            fired = yield self.engine.any_of([timeout, disturb])
             elapsed = self.engine.now - start
             self._charge_shares(shares, min(elapsed, remaining))
             remaining -= elapsed
@@ -159,24 +180,32 @@ class Processor:
             if self.mechanism is Mechanism.POLL:
                 reaction = min(self.costs.poll_reaction, remaining)
                 if reaction > 0:
-                    yield self.engine.timeout(reaction)
+                    yield reaction
                     self._charge_shares(shares, reaction)
                     remaining -= reaction
             elif self.mechanism is Mechanism.INTERRUPT:
                 self.charge(Category.PROTOCOL, self.costs.signal_local)
-                yield self.engine.timeout(self.costs.signal_local)
+                yield self.costs.signal_local
             yield from self.drain()
 
-    def _charge_shares(self, shares: dict, dt: float) -> None:
+    def _charge_shares(self, shares: Optional[dict], dt: float) -> None:
         if dt <= 0:
+            return
+        if shares is None:
+            self.charge(Category.USER, dt)
             return
         for category, fraction in shares.items():
             self.charge(category, dt * fraction)
 
     def busy(self, us: float, category: Category) -> Generator:
-        """Uninterruptible occupancy (protocol handler work, memcpy...)."""
+        """Uninterruptible occupancy (protocol handler work, memcpy...).
+
+        Yields a bare delay — the engine's allocation-free wait channel —
+        because this is the single most-executed wait in full runs (every
+        message send, handler occupancy, and doubled write lands here).
+        """
         if us > 0:
-            yield self.engine.timeout(us)
+            yield us
             self.charge(category, us)
 
     # -- blocking wait with request service -------------------------------

@@ -21,8 +21,7 @@ incoming requests re-entrantly while they spin).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.config import CostModel, Transport
 from repro.cluster.machine import Cluster, Processor
@@ -33,20 +32,62 @@ from repro.stats import Category
 LOCAL_MSG_LATENCY = 1.0  # us; same-node buffers in hardware-coherent memory
 
 
-@dataclass
 class Request:
-    """One in-flight request, awaiting a reply."""
+    """One in-flight request, awaiting a reply.
 
-    kind: str
-    requester: Processor
-    payload: Any
-    size: int
-    reply_event: Event
-    seq: int = field(default=0)
-    replied: bool = False
+    Slotted, with its delivery target and reply payload carried in the
+    object itself: the wire-delay continuations are plain module
+    functions taking the request as their argument, so the send path
+    allocates no per-message dict or closure (PR 4 hot-path overhaul —
+    this request/reply machinery dominates ``gauss`` Cashmere runs).
+    """
+
+    __slots__ = (
+        "kind",
+        "requester",
+        "payload",
+        "size",
+        "reply_event",
+        "seq",
+        "replied",
+        "_target",
+        "_reply_payload",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        requester: Processor,
+        payload: Any,
+        size: int,
+        reply_event: Event,
+        seq: int = 0,
+        replied: bool = False,
+    ):
+        self.kind = kind
+        self.requester = requester
+        self.payload = payload
+        self.size = size
+        self.reply_event = reply_event
+        self.seq = seq
+        self.replied = replied
+        self._target: Processor = None
+        self._reply_payload: Any = None
 
     def __repr__(self) -> str:
         return f"<Request #{self.seq} {self.kind} from p{self.requester.pid}>"
+
+
+def _deliver(request: Request) -> None:
+    """Wire-delay continuation: the request lands at its target."""
+    request._target.deliver(request)
+
+
+def _land_reply(request: Request) -> None:
+    """Wire-delay continuation: the reply reaches the requester."""
+    event = request.reply_event
+    if not event.triggered:
+        event.succeed(request._reply_payload)
 
 
 class Messenger:
@@ -66,14 +107,16 @@ class Messenger:
         self.costs = costs
         self.transport = transport
         self._seq = itertools.count(1)
+        # Per-message constants, resolved once (the transport never
+        # changes after construction).
+        if transport is Transport.UDP:
+            self._cpu_per_msg = costs.msg_cpu_udp
+            self._recv_cpu = costs.msg_cpu_udp
+        else:
+            self._cpu_per_msg = costs.msg_cpu_mc
+            self._recv_cpu = 0.0
 
     # -- cost helpers ------------------------------------------------------
-
-    @property
-    def _cpu_per_msg(self) -> float:
-        if self.transport is Transport.UDP:
-            return self.costs.msg_cpu_udp
-        return self.costs.msg_cpu_mc
 
     def _wire(self, src: Processor, dst: Processor, nbytes: int) -> float:
         """Absolute sim time at which ``nbytes`` land at ``dst``."""
@@ -107,14 +150,16 @@ class Messenger:
         )
         nbytes = size + self.costs.msg_header
         marshal = 0.5 * self.costs.memcpy_cost(size)
-        yield from src.busy(self._cpu_per_msg + marshal, Category.PROTOCOL)
+        cpu = self._cpu_per_msg + marshal
+        if cpu > 0:  # inlined Processor.busy: one frame fewer per send
+            yield cpu
+            src.charge(Category.PROTOCOL, cpu)
         src.bump("messages")
         src.bump("data_bytes", nbytes)
         arrive = self._wire(src, dst, nbytes)
-        recv_cpu = self._cpu_per_msg if self.transport is Transport.UDP else 0.0
-        self.engine.call_at(
-            max(arrive, self.engine.now) + recv_cpu,
-            lambda: dst.deliver(request),
+        request._target = dst
+        self.engine.schedule(
+            max(arrive, self.engine.now) + self._recv_cpu, _deliver, request
         )
         return request
 
@@ -148,18 +193,17 @@ class Messenger:
         # fresh diffs are cache-hot).  Handlers serving *cold* data add
         # the read pass themselves.
         marshal = 0.5 * self.costs.memcpy_cost(size)
-        yield from servicer.busy(
-            self._cpu_per_msg + marshal, Category.PROTOCOL
-        )
+        cpu = self._cpu_per_msg + marshal
+        if cpu > 0:  # inlined Processor.busy
+            yield cpu
+            servicer.charge(Category.PROTOCOL, cpu)
         servicer.bump("messages")
         servicer.bump("data_bytes", nbytes)
         arrive = self._wire(servicer, request.requester, nbytes)
-
-        def land() -> None:
-            if not request.reply_event.triggered:
-                request.reply_event.succeed(payload)
-
-        self.engine.call_at(max(arrive, self.engine.now), land)
+        request._reply_payload = payload
+        self.engine.schedule(
+            max(arrive, self.engine.now), _land_reply, request
+        )
 
     def forward(
         self,
@@ -171,12 +215,14 @@ class Messenger:
         """Forward an in-flight request to another processor (TreadMarks
         lock requests go manager -> current owner)."""
         nbytes = request.size + extra_bytes + self.costs.msg_header
-        yield from via.busy(self._cpu_per_msg, Category.PROTOCOL)
+        cpu = self._cpu_per_msg
+        if cpu > 0:  # inlined Processor.busy
+            yield cpu
+            via.charge(Category.PROTOCOL, cpu)
         via.bump("messages")
         via.bump("data_bytes", nbytes)
         arrive = self._wire(via, dst, nbytes)
-        recv_cpu = self._cpu_per_msg if self.transport is Transport.UDP else 0.0
-        self.engine.call_at(
-            max(arrive, self.engine.now) + recv_cpu,
-            lambda: dst.deliver(request),
+        request._target = dst
+        self.engine.schedule(
+            max(arrive, self.engine.now) + self._recv_cpu, _deliver, request
         )

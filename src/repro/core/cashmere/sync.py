@@ -57,7 +57,7 @@ class McLock:
             nxt_proc, granted = self.waiters.popleft()
             self.holder = nxt_proc.pid  # reserve: no barging past waiters
             visible = self.engine.now + self.costs.mc_latency
-            self.engine.call_at(visible, lambda: granted.succeed())
+            self.engine.succeed_at(visible, granted)
         else:
             self.holder = None
 
@@ -100,7 +100,7 @@ class TreeBarrier:
             self._arrived = 0
             self._episode += 1
             self._release = self.engine.event()
-            self.engine.call_at(done_at, lambda: release.succeed())
+            self.engine.succeed_at(done_at, release)
         yield from proc.wait(release, Category.COMM_WAIT)
         assert self._episode > episode
 
@@ -119,9 +119,7 @@ class McFlag:
         yield from proc.busy(1.0, Category.PROTOCOL)
         event = self.event
         if not event.triggered:
-            self.engine.call_at(
-                max(visible, self.engine.now), lambda: event.succeed()
-            )
+            self.engine.succeed_at(max(visible, self.engine.now), event)
 
     def wait(self, proc: Processor):
         yield from proc.wait(self.event, Category.COMM_WAIT)

@@ -16,36 +16,33 @@ transition (fault upgrades, invalidations, release/barrier downgrades).
 ``tests/test_fastpath_invariants.py`` drives that assertion through
 fault/invalidate/downgrade sequences for all three protocols.
 
-Escape hatch: setting ``REPRO_DSM_NO_FASTPATH=1`` in the environment
-disables the fast path entirely and restores the per-page generator
-loop.  Simulated times, counters, and traces are bit-identical either
-way (locked in by ``tests/test_engine_equivalence.py``); only wall
-clock differs.
+Escape hatch: ``SimOptions(fastpath=False)`` — the CLI's
+``--no-fastpath`` flag, or the deprecated ``REPRO_DSM_NO_FASTPATH=1``
+alias — disables the fast path entirely and restores the per-page
+generator loop.  Simulated times, counters, and traces are
+bit-identical either way (locked in by
+``tests/test_engine_equivalence.py``); only wall clock differs.
 
-When ``REPRO_DSM_DEBUG=1``, the runtime additionally re-checks
-bitmap/perm coherence at every barrier (see ``Env.barrier``), so a
-drifting transition is caught at the first synchronization point after
-it happens instead of at the end of the run.
+With ``SimOptions(debug_checks=True)`` (``--debug-checks`` /
+``REPRO_DSM_DEBUG=1``), the runtime additionally re-checks bitmap/perm
+coherence at every barrier (see ``Env.barrier``), so a drifting
+transition is caught at the first synchronization point after it
+happens instead of at the end of the run.
 """
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro import options as _options
 from repro.memory.page import Protection
 
-
-def _env_flag(name: str) -> bool:
-    return os.environ.get(name, "") not in ("", "0")
-
-
-#: module-level switches; read from the environment once at import (the
-#: parallel harness's worker processes inherit the environment, so the
-#: escape hatch applies uniformly).  Tests flip these directly.
-ENABLED = not _env_flag("REPRO_DSM_NO_FASTPATH")
-DEBUG = _env_flag("REPRO_DSM_DEBUG")
+#: Module-level switches, mirrored from :mod:`repro.options` — the hit
+#: paths probe plain globals instead of calling into the options object.
+#: ``SimOptions.apply`` keeps them in sync; tests flip them directly.
+_initial = _options.current()
+ENABLED = _initial.fastpath
+DEBUG = _initial.debug_checks
 
 
 def set_enabled(flag: bool) -> None:
@@ -55,10 +52,19 @@ def set_enabled(flag: bool) -> None:
 
 
 def refresh_from_env() -> None:
-    """Re-read both switches from the environment."""
+    """Re-read both switches from the deprecated environment aliases."""
     global ENABLED, DEBUG
-    ENABLED = not _env_flag("REPRO_DSM_NO_FASTPATH")
-    DEBUG = _env_flag("REPRO_DSM_DEBUG")
+    options = _options.SimOptions.from_env(warn=False)
+    ENABLED = options.fastpath
+    DEBUG = options.debug_checks
+
+
+#: perm -> (readable, writable), resolved once instead of two enum
+#: comparisons per permission transition.
+_PERM_BITS = {
+    perm: (perm >= Protection.READ, perm >= Protection.READ_WRITE)
+    for perm in Protection
+}
 
 
 class PermBitmaps:
@@ -105,8 +111,9 @@ class PermBitmaps:
     def set(self, pid: int, page: int, perm: Protection) -> None:
         if page >= self._cap:
             self._grow(page + 1)
-        self.readable[pid, page] = perm >= Protection.READ
-        self.writable[pid, page] = perm >= Protection.READ_WRITE
+        readable, writable = _PERM_BITS[perm]
+        self.r_rows[pid][page] = readable
+        self.w_rows[pid][page] = writable
 
     # -- queries (the vectorized hit-path check) ------------------------
 

@@ -300,16 +300,16 @@ class HlrcProtocol(LrcProtocolBase):
 
     def _note_remote_write(
         self, proc: Processor, writer: int, iid: int, page_idx: int
-    ) -> Generator:
+    ) -> float:
         if self._home_of(page_idx) == proc.pid:
-            return  # the home copy is always current
+            return 0.0  # the home copy is always current
         state = self._state(proc)
         page = state.pages.get(page_idx)
         if page is None or page.perm is Protection.NONE:
-            return
+            return 0.0
         self._set_perm(proc.pid, page_idx, page, Protection.NONE)
         self.trace(proc, "invalidate", page=page_idx)
-        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+        return self.costs.mprotect
 
     def _serve_data(self, proc: Processor, request: Request) -> Generator:
         if request.kind == PAGE_FETCH:

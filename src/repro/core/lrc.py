@@ -160,8 +160,12 @@ class LrcProtocolBase(DsmProtocol):
         start = offset - lo * ps
         perms = self.perms
         if start + nbytes <= ps:  # single page: the common case
-            perms.ensure_cap(lo + 1)
-            if not perms.r_rows[pid][lo]:
+            try:
+                readable = perms.r_rows[pid][lo]
+            except IndexError:  # page past the bitmap: grow (tests only)
+                perms.ensure_cap(lo + 1)
+                readable = perms.r_rows[pid][lo]
+            if not readable:
                 return None
             return self.procs[pid].pages[lo].copy[
                 start : start + nbytes
@@ -197,8 +201,12 @@ class LrcProtocolBase(DsmProtocol):
         start = offset - lo * ps
         perms = self.perms
         if start + nbytes <= ps:  # single page: the common case
-            perms.ensure_cap(lo + 1)
-            if not perms.w_rows[pid][lo]:
+            try:
+                writable = perms.w_rows[pid][lo]
+            except IndexError:  # page past the bitmap: grow (tests only)
+                perms.ensure_cap(lo + 1)
+                writable = perms.w_rows[pid][lo]
+            if not writable:
                 return False
             self.procs[pid].pages[lo].copy[start : start + nbytes] = raw
             return True
@@ -275,9 +283,11 @@ class LrcProtocolBase(DsmProtocol):
             )
             state.vts[record.proc] = max(state.vts[record.proc], record.iid)
             for page_idx in record.pages:
-                yield from self._note_remote_write(
+                us = self._note_remote_write(
                     proc, record.proc, record.iid, page_idx
                 )
+                if us:
+                    yield from proc.busy(us, Category.PROTOCOL)
 
     # -- locks -------------------------------------------------------------
 
@@ -555,8 +565,14 @@ class LrcProtocolBase(DsmProtocol):
 
     def _note_remote_write(
         self, proc: Processor, writer: int, iid: int, page_idx: int
-    ) -> Generator:
-        """A write notice for ``page_idx`` entered ``proc``'s past."""
+    ) -> float:
+        """A write notice for ``page_idx`` entered ``proc``'s past.
+
+        Synchronous (this is the hottest hook: one call per write
+        notice per incorporating processor); returns the protocol busy
+        time in microseconds the caller must charge — 0 for the common
+        nothing-to-invalidate case, ``costs.mprotect`` otherwise.
+        """
         raise NotImplementedError
 
     def _serve_data(self, proc: Processor, request: Request) -> Generator:

@@ -57,8 +57,24 @@ class Env:
         pass would cover in this block; ``ws`` declares the cache working
         set so protocol-added footprint (write doubling, twins) can
         inflate the time as it does on the real 21064A.
+
+        The common case — no working set, tracing off — returns the
+        processor's own compute generator, so every resume of the block
+        crosses one frame fewer (``env.compute`` contributes no frame of
+        its own to the ``yield from`` chain).
         """
-        shares = {Category.USER: 1.0}
+        if not self.protocol.counts_polling:
+            polls = 0
+        tracer = self.protocol.tracer
+        if ws is None and (tracer is None or not tracer.enabled):
+            return self.proc.compute(us, polls=polls)
+        return self._compute_full(us, polls, ws)
+
+    def _compute_full(
+        self, us: float, polls: int, ws: Optional[WorkingSet]
+    ) -> Generator:
+        """Working-set inflation and/or trace-span emission."""
+        shares = None
         total = us
         if ws is not None:
             user_f, total_f, overhead_cat = self.protocol.compute_factors(ws)
@@ -68,8 +84,6 @@ class Env:
                     Category.USER: user_f / total_f,
                     overhead_cat: (total_f - user_f) / total_f,
                 }
-        if not self.protocol.counts_polling:
-            polls = 0
         t0 = self.now
         yield from self.proc.compute(total, polls=polls, shares=shares)
         self.protocol.trace(

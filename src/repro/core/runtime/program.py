@@ -65,6 +65,95 @@ class RunResult:
         return sequential_us / self.exec_time
 
 
+@dataclass
+class System:
+    """A fully wired simulated cluster: engine, network, messenger, and
+    protocol, with servers attached and the protocol started.
+
+    :func:`build_system` assembles one; :func:`run_program` runs workers
+    on one.  Tests and microbenchmarks use it to drive the protocol
+    directly without an application (``repro.api.build_system`` is the
+    public entry point).
+    """
+
+    engine: Engine
+    cluster: Cluster
+    network: MemoryChannel
+    messenger: Messenger
+    space: AddressSpace
+    stats: StatsBoard
+    protocol: Any
+    tracer: Tracer
+    config: RunConfig
+
+
+def build_system(
+    run_cfg: RunConfig,
+    space: Optional[AddressSpace] = None,
+    placement: Optional[List[tuple]] = None,
+) -> System:
+    """Assemble and start the simulated system for ``run_cfg``.
+
+    ``space`` lets callers pass an address space whose regions are
+    already allocated and initialized (the untimed setup phase);
+    ``run_cfg.warm_start`` then pre-validates read-only copies.
+    """
+    from repro.harness.configs import placement as default_placement
+
+    engine = Engine()
+    stats = StatsBoard(run_cfg.nprocs)
+    if placement is None:
+        placement = default_placement(
+            run_cfg.nprocs, run_cfg.cluster, run_cfg.variant.mechanism
+        )
+    cluster = Cluster(
+        engine,
+        run_cfg.cluster,
+        run_cfg.costs,
+        run_cfg.variant.mechanism,
+        placement,
+        stats,
+    )
+    network = MemoryChannel(engine, run_cfg.cluster, run_cfg.costs)
+    messenger = Messenger(
+        engine, cluster, network, run_cfg.costs, run_cfg.variant.transport
+    )
+    if space is None:
+        space = AddressSpace(run_cfg.cluster.page_size)
+    tracer = Tracer(enabled=run_cfg.trace)
+    protocol = _build_protocol(
+        run_cfg.variant.system,
+        engine,
+        cluster,
+        network,
+        messenger,
+        space,
+        stats,
+        run_cfg,
+    )
+    protocol.tracer = tracer
+    for proc in cluster.procs:
+        proc.server = protocol.serve
+    for node in cluster.nodes:
+        if node.protocol_processor is not None:
+            node.protocol_processor.server = protocol.serve
+    cluster.start_protocol_processors()
+    protocol.start()
+    if run_cfg.warm_start:
+        protocol.prewarm()
+    return System(
+        engine=engine,
+        cluster=cluster,
+        network=network,
+        messenger=messenger,
+        space=space,
+        stats=stats,
+        protocol=protocol,
+        tracer=tracer,
+        config=run_cfg,
+    )
+
+
 def _build_protocol(
     system: SystemKind,
     engine: Engine,
@@ -103,50 +192,14 @@ def run_program(
     placement: Optional[List[tuple]] = None,
 ) -> RunResult:
     """Execute ``program`` on ``run_cfg.nprocs`` simulated processors."""
-    from repro.harness.configs import placement as default_placement
-
     params = dict(params or {})
-    engine = Engine()
-    stats = StatsBoard(run_cfg.nprocs)
-    if placement is None:
-        placement = default_placement(
-            run_cfg.nprocs, run_cfg.cluster, run_cfg.variant.mechanism
-        )
-    cluster = Cluster(
-        engine,
-        run_cfg.cluster,
-        run_cfg.costs,
-        run_cfg.variant.mechanism,
-        placement,
-        stats,
-    )
-    network = MemoryChannel(engine, run_cfg.cluster, run_cfg.costs)
-    messenger = Messenger(
-        engine, cluster, network, run_cfg.costs, run_cfg.variant.transport
-    )
     space = AddressSpace(run_cfg.cluster.page_size)
     shared = program.setup(space, params)
-    tracer = Tracer(enabled=run_cfg.trace)
-    protocol = _build_protocol(
-        run_cfg.variant.system,
-        engine,
-        cluster,
-        network,
-        messenger,
-        space,
-        stats,
-        run_cfg,
-    )
-    protocol.tracer = tracer
-    for proc in cluster.procs:
-        proc.server = protocol.serve
-    for node in cluster.nodes:
-        if node.protocol_processor is not None:
-            node.protocol_processor.server = protocol.serve
-    cluster.start_protocol_processors()
-    protocol.start()
-    if run_cfg.warm_start:
-        protocol.prewarm()
+    system = build_system(run_cfg, space=space, placement=placement)
+    engine = system.engine
+    cluster = system.cluster
+    stats = system.stats
+    protocol = system.protocol
 
     values: List[Any] = [None] * run_cfg.nprocs
 
@@ -173,8 +226,8 @@ def run_program(
         exec_time=stats.finish_time,
         stats=stats,
         values=values,
-        network_bytes=network.aggregate_bytes,
-        trace=tracer,
+        network_bytes=system.network.aggregate_bytes,
+        trace=system.tracer,
     )
 
 

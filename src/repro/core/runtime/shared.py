@@ -51,6 +51,13 @@ class SharedArray:
                 f"array {self.shape}x{self.dtype} does not fit region "
                 f"{region.name!r}"
             )
+        # Hot-path constants: the access methods run tens of thousands
+        # of times per simulation, so spare them the attribute chains.
+        self._item = self.dtype.itemsize
+        self._stride = self.size // self.shape[0]
+        self._space = region.space
+        self._base = region.offset
+        self._tail = self.shape[1:]
 
     # -- construction ---------------------------------------------------
 
@@ -127,11 +134,11 @@ class SharedArray:
             return None
         if start_elem < 0 or count < 0 or start_elem + count > self.size:
             self._byte_range(start_elem, count)  # raises IndexError
-        item = self.dtype.itemsize
+        item = self._item
         data = env.protocol.fast_read(
             env.proc,
-            self.region.space,
-            self.region.offset + start_elem * item,
+            self._space,
+            self._base + start_elem * item,
             count * item,
         )
         if data is None:
@@ -148,18 +155,24 @@ class SharedArray:
         protocol = env.protocol
         if not fastpath.ENABLED or not protocol.free_writes:
             return False
-        item = self.dtype.itemsize
+        item = self._item
         count = raw.nbytes // item
         if start_elem < 0 or start_elem + count > self.size:
             self._byte_range(start_elem, count)  # raises IndexError
         return protocol.fast_write(
             env.proc,
-            self.region.space,
-            self.region.offset + start_elem * item,
+            self._space,
+            self._base + start_elem * item,
             raw,
         )
 
     def _raw_bytes(self, values) -> np.ndarray:
+        if (
+            type(values) is np.ndarray
+            and values.dtype == self.dtype
+            and values.flags.c_contiguous
+        ):
+            return values.view(np.uint8).reshape(-1)
         return np.ascontiguousarray(values, self.dtype).view(
             np.uint8
         ).reshape(-1)
@@ -188,21 +201,39 @@ class SharedArray:
             pos += length
         return out.view(self.dtype)
 
-    def write_range(self, env, start_elem: int, values) -> Generator:
-        """Write ``values`` starting at flat ``start_elem``."""
+    def write_range(self, env, start_elem: int, values):
+        """Write ``values`` starting at flat ``start_elem``.
+
+        A plain dispatcher, not a generator: the hit path returns an
+        empty iterable (``yield from`` it for free) and the span path
+        hands back the protocol's own generator — so a hot or
+        span-batched write adds **zero** frames of its own to the
+        caller's resume chain.
+        """
         raw = self._raw_bytes(values)
-        if self.try_write(env, start_elem, raw):
-            return  # every page hot and writes are free: done
-        offset, nbytes = self._byte_range(
-            start_elem, raw.nbytes // self.dtype.itemsize
-        )
-        space = self.region.space
+        item = self._item
+        count = raw.nbytes // item
+        if start_elem < 0 or start_elem + count > self.size:
+            self._byte_range(start_elem, count)  # raises IndexError
+        offset = self._base + start_elem * item
+        nbytes = count * item
+        space = self._space
         protocol = env.protocol
         if fastpath.ENABLED:
-            yield from protocol.ensure_write_span(
+            if protocol.free_writes and protocol.fast_write(
+                env.proc, space, offset, raw
+            ):
+                return ()  # every page hot and writes are free: done
+            return protocol.ensure_write_span(
                 env.proc, space.page_spans_list(offset, nbytes), raw
             )
-            return
+        return self._write_range_slow(env, space, offset, nbytes, raw)
+
+    def _write_range_slow(
+        self, env, space, offset: int, nbytes: int, raw
+    ) -> Generator:
+        """Legacy per-page fault loop (fastpath disabled)."""
+        protocol = env.protocol
         pos = 0
         for page, start, length in space.page_spans(offset, nbytes):
             yield from protocol.ensure_write(env.proc, page)
@@ -221,12 +252,41 @@ class SharedArray:
             values = yield from self.read_range(env, flat, 1)
         return values[0]
 
-    def put(self, env, index: Index, value) -> Generator:
-        """Write a single element."""
+    def put(self, env, index: Index, value):
+        """Write a single element (dispatcher; see ``write_range``)."""
         flat = self._flatten(index)
-        raw = self._raw_bytes([value])
-        if not self.try_write(env, flat, raw):
-            yield from self.write_range(env, flat, raw.view(self.dtype))
+        return self.write_range(env, flat, [value])
+
+    def rows(self, env, row0: int, row1: int):
+        """Hit-path read of rows ``[row0, row1)``: the data if every
+        spanned page is hot, else ``None``.
+
+        A plain function — no generator frame at all.  Callers pair it
+        with :meth:`read_rows` as the cold fallback::
+
+            block = matrix.rows(env, r0, r1)
+            if block is None:
+                block = yield from matrix.read_rows(env, r0, r1)
+        """
+        if not fastpath.ENABLED:
+            return None
+        if not 0 <= row0 < self.shape[0]:
+            raise IndexError(f"row {row0} out of range")
+        stride = self._stride
+        start = row0 * stride
+        count = (row1 - row0) * stride
+        if count < 0 or start + count > self.size:
+            self._byte_range(start, count)  # raises IndexError
+        item = self._item
+        data = env.protocol.fast_read(
+            env.proc,
+            self._space,
+            self._base + start * item,
+            count * item,
+        )
+        if data is None:
+            return None
+        return data.view(self.dtype).reshape((row1 - row0,) + self._tail)
 
     def read_rows(self, env, row0: int, row1: int) -> Generator:
         """Read rows ``[row0, row1)`` of the leading dimension."""
@@ -237,8 +297,9 @@ class SharedArray:
             flat = yield from self.read_range(env, start, count)
         return flat.reshape((row1 - row0,) + self.shape[1:])
 
-    def write_rows(self, env, row0: int, values) -> Generator:
-        """Write consecutive leading-dimension rows starting at row0."""
+    def write_rows(self, env, row0: int, values):
+        """Write consecutive leading-dimension rows starting at row0
+        (dispatcher; see ``write_range``)."""
         arr = np.asarray(values, self.dtype)
         tail = self.shape[1:]
         if arr.shape[1:] != tail:
@@ -246,9 +307,7 @@ class SharedArray:
                 f"row block shape {arr.shape} does not match {self.shape}"
             )
         start, _ = self.row_elems(row0)
-        raw = self._raw_bytes(arr)
-        if not self.try_write(env, start, raw):
-            yield from self.write_range(env, start, raw.view(self.dtype))
+        return self.write_range(env, start, arr)
 
     def read_all(self, env) -> Generator:
         flat = self.try_read(env, 0, self.size)

@@ -291,14 +291,15 @@ class TreadMarksProtocol(LrcProtocolBase):
 
     def _note_remote_write(
         self, proc: Processor, writer: int, iid: int, page_idx: int
-    ) -> Generator:
+    ) -> float:
         state = self._state(proc)
         page = state.page(page_idx)
         page.pending.append((writer, iid))
         if page.perm is not Protection.NONE:
             self._set_perm(proc.pid, page_idx, page, Protection.NONE)
             self.trace(proc, "invalidate", page=page_idx)
-            yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+            return self.costs.mprotect
+        return 0.0
 
     def _serve_data(self, proc: Processor, request: Request) -> Generator:
         if request.kind == PAGE_FETCH:

@@ -22,11 +22,13 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import api
 from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, variant_by_name
 from repro.apps import registry
-from repro.harness import figure5, figure6, table1, table2, table3
+from repro.harness import figure5
 from repro.harness.cache import ResultCache
 from repro.harness.runner import ExperimentContext
+from repro.options import SimOptions
 from repro.stats.export import EXPORT_FORMATS, export_runs
 from repro.stats.trace import diff_traces
 
@@ -95,6 +97,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="recompute every point and overwrite any cached results",
     )
     parser.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help=(
+            "disable the vectorized shared-access fast path (restores "
+            "the per-page generator loop; bit-identical results, "
+            "replaces $REPRO_DSM_NO_FASTPATH)"
+        ),
+    )
+    parser.add_argument(
+        "--debug-checks",
+        action="store_true",
+        help=(
+            "re-verify permission-bitmap coherence at every barrier "
+            "(replaces $REPRO_DSM_DEBUG)"
+        ),
+    )
+    parser.add_argument(
+        "--no-calqueue",
+        action="store_true",
+        help=(
+            "use the plain binary-heap event scheduler instead of the "
+            "calendar queue (bit-identical results, replaces "
+            "$REPRO_DSM_NO_CALQUEUE)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         metavar="FILE",
         default=None,
@@ -113,12 +141,18 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
             cache_dir=Path(args.cache_dir) if args.cache_dir else None,
             refresh=args.refresh,
         )
+    options = SimOptions.from_flags(
+        no_fastpath=args.no_fastpath,
+        debug_checks=args.debug_checks,
+        no_calqueue=args.no_calqueue,
+    ).apply()
     return ExperimentContext(
         scale=args.scale,
         warm_start=not args.cold_start,
         trace=args.trace_out is not None,
         jobs=args.jobs,
         cache=cache,
+        options=options,
     )
 
 
@@ -325,58 +359,44 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     ctx = _context(args)
     started = time.time()
-    if args.command == "table1":
-        print(table1.render(table1.generate(ctx)))
-    elif args.command == "table2":
-        print(table2.render(table2.generate(ctx)))
-    elif args.command == "table3":
-        cells = table3.generate(ctx, apps=args.apps, nprocs=args.procs)
-        print(table3.render(cells))
-    elif args.command == "figure5":
-        counts = args.counts
-        if args.full:
-            counts = list(figure5.full_paper_counts())
-        curves = figure5.generate(
-            ctx,
-            apps=args.apps,
-            variants=_parse_variants(args.variants),
-            counts=counts,
-        )
-        print(figure5.render(curves))
-        if args.chart:
+    if args.command in api.EXPERIMENTS:
+        kwargs = {}
+        if args.command == "table3":
+            kwargs = {"apps": args.apps, "nprocs": args.procs}
+        elif args.command == "figure5":
+            counts = args.counts
+            if args.full:
+                counts = list(figure5.full_paper_counts())
+            kwargs = {
+                "apps": args.apps,
+                "variants": _parse_variants(args.variants),
+                "counts": counts,
+            }
+        elif args.command == "figure6":
+            kwargs = {"apps": args.apps, "nprocs": args.procs}
+        elif args.command == "sweep":
+            kwargs = {"knob": args.knob, "app": args.app, "nprocs": args.procs}
+        result = api.run_experiment(args.command, ctx=ctx, **kwargs)
+        print(result.text)
+        if getattr(args, "chart", False):
             from repro.harness import plots
 
-            apps = []
-            for curve in curves:
-                if curve.app not in apps:
-                    apps.append(curve.app)
-            for app in apps:
-                series = {
-                    c.variant: c.points for c in curves if c.app == app
-                }
+            if args.command == "figure5":
+                apps = []
+                for curve in result.rows:
+                    if curve.app not in apps:
+                        apps.append(curve.app)
+                for app in apps:
+                    series = {
+                        c.variant: c.points
+                        for c in result.rows
+                        if c.app == app
+                    }
+                    print()
+                    print(plots.line_chart(series, title=f"Figure 5: {app}"))
+            elif args.command == "figure6":
                 print()
-                print(plots.line_chart(series, title=f"Figure 5: {app}"))
-    elif args.command == "figure6":
-        bars = figure6.generate(ctx, apps=args.apps, nprocs=args.procs)
-        print(figure6.render(bars))
-        if args.chart:
-            from repro.harness import plots
-
-            print()
-            print(plots.breakdown_chart(bars))
-    elif args.command == "sweep":
-        from repro.harness import sweep as sweep_mod
-
-        if args.knob == "bandwidth":
-            points = sweep_mod.sweep_bandwidth(
-                ctx, app=args.app, nprocs=args.procs
-            )
-        else:
-            points = sweep_mod.sweep_latency(
-                ctx, app=args.app, nprocs=args.procs
-            )
-        print(sweep_mod.render(points))
-        print("gains:", sweep_mod.gains(points))
+                print(plots.breakdown_chart(list(result.rows)))
     elif args.command == "trace":
         _run_trace(ctx, args)
     elif args.command == "run":

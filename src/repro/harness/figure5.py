@@ -65,6 +65,25 @@ def full_paper_counts() -> Sequence[int]:
     return paper_processor_counts()
 
 
+def run(
+    ctx: ExperimentContext = None,
+    apps: Optional[Sequence[str]] = None,
+    variants: Optional[Sequence[Variant]] = None,
+    counts: Optional[Sequence[int]] = None,
+):
+    """Generate Figure 5 and wrap it in the common result envelope."""
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    curves = generate(ctx, apps=apps, variants=variants, counts=counts)
+    config = {
+        "apps": sorted({c.app for c in curves}),
+        "variants": sorted({c.variant for c in curves}),
+        "counts": sorted({n for c in curves for n in c.points}),
+    }
+    return results.build("figure5", ctx, curves, render(curves), config)
+
+
 def render(curves: List[SpeedupCurve]) -> str:
     counts = sorted({n for c in curves for n in c.points})
     lines = []

@@ -84,6 +84,23 @@ def generate(
     return bars
 
 
+def run(
+    ctx: ExperimentContext = None,
+    apps: Optional[Sequence[str]] = None,
+    nprocs: Optional[int] = None,
+):
+    """Generate Figure 6 and wrap it in the common result envelope."""
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    bars = generate(ctx, apps=apps, nprocs=nprocs)
+    config = {
+        "apps": sorted({b.app for b in bars}),
+        "nprocs": nprocs,
+    }
+    return results.build("figure6", ctx, bars, render(bars), config)
+
+
 def render(bars: List[BreakdownBar]) -> str:
     lines = [
         f"{'app':<8}{'sys':<5}{'P':>3}"

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import ClusterConfig, CostModel, RunConfig, variant_by_name
+from repro.options import SimOptions
 
 #: Sentinel variant name marking a sequential (unlinked) baseline point.
 SEQUENTIAL = "sequential"
@@ -46,6 +47,11 @@ class PointSpec:
     warm_start: bool = True
     trace: bool = False
     overrides: Dict[str, Any] = field(default_factory=dict)
+    # Wall-clock toggles only (fast path, queue mode, debug checks):
+    # every combination is bit-identical, so options never enter cache
+    # keys.  Shipping them in the spec makes worker processes honour the
+    # CLI flags under both fork and spawn start methods.
+    options: Optional[SimOptions] = None
 
     @property
     def is_sequential(self) -> bool:
@@ -70,6 +76,8 @@ def execute_point(spec: PointSpec):
     from repro.apps import registry
     from repro.core import run_program, run_sequential
 
+    if spec.options is not None:
+        spec.options.apply()
     module = registry.load(spec.app)
     if spec.is_sequential:
         return run_sequential(

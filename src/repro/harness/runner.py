@@ -15,6 +15,7 @@ from repro.core import Program, RunResult, run_program, run_sequential
 from repro.apps import registry
 from repro.harness.cache import ResultCache, run_key, sequential_key
 from repro.harness.parallel import SEQUENTIAL, PointSpec, run_points
+from repro.options import SimOptions
 from repro.stats.export import TraceRun
 
 
@@ -59,6 +60,16 @@ class ExperimentContext:
     # Optional persistent result cache (the CLI's ``--cache-dir`` /
     # ``--no-cache``); None disables on-disk caching entirely.
     cache: Optional[ResultCache] = None
+    # Wall-clock toggles (fast path, queue mode, debug checks) shipped
+    # to worker processes inside every PointSpec.  None inherits the
+    # process-wide repro.options.current().
+    options: Optional[SimOptions] = None
+    # Cumulative aggregates over every simulation this context has
+    # executed, cached results included — the counters/breakdown fields
+    # of the DriverResult envelope (see repro.harness.results).
+    counters: Dict[str, int] = field(default_factory=dict)
+    breakdown_us: Dict[str, float] = field(default_factory=dict)
+    runs_executed: int = 0
     _sequential: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
 
     def app(self, name: str):
@@ -125,7 +136,19 @@ class ExperimentContext:
                 self.trace_runs.append(
                     TraceRun.from_result(result, scale=self.scale)
                 )
+            self._accumulate(result)
         return results
+
+    def _accumulate(self, result: RunResult) -> None:
+        self.runs_executed += 1
+        for name, value in result.stats.aggregate_counters().items():
+            if value:
+                self.counters[name] = self.counters.get(name, 0) + value
+        for category, us in result.breakdown.as_dict().items():
+            if us:
+                self.breakdown_us[category] = (
+                    self.breakdown_us.get(category, 0.0) + us
+                )
 
     def speedup(self, name: str, variant: Variant, nprocs: int, **kw) -> float:
         seq = self.sequential(name)
@@ -156,6 +179,7 @@ class ExperimentContext:
             warm_start=self.warm_start,
             trace=trace,
             overrides=overrides,
+            options=self.options,
         )
 
     def _key_for(self, spec: PointSpec) -> Optional[str]:

@@ -114,6 +114,32 @@ def sweep_latency(
     return _sweep(ctx, app, nprocs, "latency", swept, variants)
 
 
+def run(
+    ctx: ExperimentContext = None,
+    knob: str = "bandwidth",
+    app: str = "sor",
+    nprocs: int = 16,
+    variants: Optional[Sequence[Variant]] = None,
+):
+    """Run one sweep and wrap it in the common result envelope.
+
+    The rendered text includes the per-variant gains line the CLI
+    prints, so ``DriverResult.text`` is the complete report.
+    """
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    if knob == "bandwidth":
+        points = sweep_bandwidth(ctx, app=app, nprocs=nprocs, variants=variants)
+    elif knob == "latency":
+        points = sweep_latency(ctx, app=app, nprocs=nprocs, variants=variants)
+    else:
+        raise ValueError(f"unknown sweep knob {knob!r}")
+    text = render(points) + f"\ngains: {gains(points)}"
+    config = {"knob": knob, "app": app, "nprocs": nprocs}
+    return results.build("sweep", ctx, points, text, config)
+
+
 def gains(points: List[SweepPoint]) -> Dict[str, float]:
     """Best-over-worst speedup ratio per variant across the sweep."""
     by_variant: Dict[str, List[float]] = {}

@@ -132,6 +132,7 @@ def _run_probe(
         costs=ctx.costs,
     )
     result = run_program(program, cfg, {})
+    ctx._accumulate(result)
     return [v for v in result.values if v is not None]
 
 
@@ -154,6 +155,16 @@ def generate(ctx: ExperimentContext = None) -> List[Table1Row]:
             )
         )
     return rows
+
+
+def run(ctx: ExperimentContext = None):
+    """Generate Table 1 and wrap it in the common result envelope."""
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    rows = generate(ctx)
+    config = {"variants": [row.variant for row in rows]}
+    return results.build("table1", ctx, rows, render(rows), config)
 
 
 def render(rows: List[Table1Row]) -> str:

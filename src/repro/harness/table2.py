@@ -55,6 +55,16 @@ def generate(ctx: ExperimentContext = None) -> List[Table2Row]:
     return rows
 
 
+def run(ctx: ExperimentContext = None):
+    """Generate Table 2 and wrap it in the common result envelope."""
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    rows = generate(ctx)
+    config = {"apps": [row.app for row in rows]}
+    return results.build("table2", ctx, rows, render(rows), config)
+
+
 def render(rows: List[Table2Row]) -> str:
     lines = [
         f"{'Program':<8}{'Problem (scaled)':<40}{'Shared MB':>10}"

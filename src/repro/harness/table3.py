@@ -78,6 +78,23 @@ def generate(
     return cells
 
 
+def run(
+    ctx: ExperimentContext = None,
+    apps: Optional[List[str]] = None,
+    nprocs: Optional[int] = None,
+):
+    """Generate Table 3 and wrap it in the common result envelope."""
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    cells = generate(ctx, apps=apps, nprocs=nprocs)
+    config = {
+        "apps": sorted({c.app for c in cells}),
+        "nprocs": nprocs,
+    }
+    return results.build("table3", ctx, cells, render(cells), config)
+
+
 def render(cells: List[Table3Cell]) -> str:
     apps = []
     for cell in cells:

@@ -142,6 +142,8 @@ class AddressSpace:
         generator (the slow path walks it twice: faults, then bytes)."""
         lo, hi = self.span_bounds(offset, nbytes)
         ps = self.page_size
+        if hi - lo == 1:  # one page: the overwhelmingly common case
+            return [(lo, offset - lo * ps, nbytes)]
         end = offset + nbytes
         spans = []
         pos = offset

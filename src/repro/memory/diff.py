@@ -111,6 +111,17 @@ def apply_diff_versioned(
         offset, data = runs[0]
         first = offset // WORD
         n_words = len(data) // WORD
+        tag_seg = word_tags[first : first + n_words]
+        if n_words and tag_seg.max() < tag:
+            # Every word wins (the overwhelmingly common case for
+            # race-free programs): contiguous slice stores, no index
+            # vectors, no boolean gathers.
+            tag_seg[:] = tag
+            flat = np.frombuffer(data, np.uint8)
+            end = offset + len(data)
+            for target in targets:
+                target[offset:end] = flat
+            return
         word_idx = np.arange(first, first + n_words)
         raw = np.frombuffer(data, np.uint8).reshape(n_words, WORD)
     else:
@@ -122,11 +133,15 @@ def apply_diff_versioned(
             b"".join(data for _, data in runs), np.uint8
         ).reshape(-1, WORD)
     winners = word_tags[word_idx] < tag
-    if not winners.any():
+    if winners.all():
+        win_idx, win_raw = word_idx, raw
+        word_tags[win_idx] = tag
+    elif not winners.any():
         return
-    win_idx = word_idx[winners]
-    word_tags[win_idx] = tag
-    win_raw = raw[winners]
+    else:
+        win_idx = word_idx[winners]
+        word_tags[win_idx] = tag
+        win_raw = raw[winners]
     for target in targets:
         if len(target) % WORD == 0 and target.flags.c_contiguous:
             view = target.view()

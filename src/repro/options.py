@@ -1,0 +1,134 @@
+"""Typed simulation options: the one place runtime toggles live.
+
+Three PRs of growth scattered the simulator's switches across
+environment variables (``REPRO_DSM_NO_FASTPATH``, ``REPRO_DSM_DEBUG``,
+and now ``REPRO_DSM_NO_CALQUEUE``).  :class:`SimOptions` consolidates
+them into a single dataclass that the CLI plumbs from flags
+(``--no-fastpath``, ``--debug-checks``, ``--no-calqueue``) and that the
+parallel harness ships to worker processes inside each
+:class:`~repro.harness.parallel.PointSpec`.
+
+The environment variables keep working as **deprecated aliases**: they
+are folded into :meth:`SimOptions.from_env` and produce a one-time
+stderr warning pointing at the replacement flag.  Every toggle is a
+wall-clock lever only — simulated results are bit-identical in every
+combination (locked in by ``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, replace
+from typing import Optional
+
+#: Deprecated environment aliases: var -> (SimOptions field, value when
+#: the var is set, replacement CLI flag named in the warning).
+_ENV_ALIASES = {
+    "REPRO_DSM_NO_FASTPATH": ("fastpath", False, "--no-fastpath"),
+    "REPRO_DSM_DEBUG": ("debug_checks", True, "--debug-checks"),
+    "REPRO_DSM_NO_CALQUEUE": ("calqueue", False, "--no-calqueue"),
+}
+
+_warned_vars = set()
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def _warn_once(var: str, flag: str) -> None:
+    if var in _warned_vars:
+        return
+    _warned_vars.add(var)
+    print(
+        f"[repro-dsm] warning: ${var} is deprecated; "
+        f"use the {flag} flag (or repro.SimOptions) instead",
+        file=sys.stderr,
+    )
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Runtime toggles for one simulation (all default to the fast,
+    production configuration; every field is A/B-verified bit-identical).
+
+    ``fastpath``
+        Vectorized permission-bitmap hit path for shared accesses
+        (PR 3).  Off restores the per-page generator loop.
+    ``debug_checks``
+        Re-verify bitmap/permission coherence at every barrier.
+    ``calqueue``
+        Bucketed calendar queue + event pooling in the simulation
+        engine (this PR).  Off restores the plain binary-heap
+        scheduler with per-event allocation — the A/B escape hatch.
+    """
+
+    fastpath: bool = True
+    debug_checks: bool = False
+    calqueue: bool = True
+
+    @classmethod
+    def from_env(cls, warn: bool = True) -> "SimOptions":
+        """Build options from the deprecated ``REPRO_DSM_*`` aliases."""
+        options = cls()
+        for var, (fld, value, flag) in _ENV_ALIASES.items():
+            if _env_flag(var):
+                if warn:
+                    _warn_once(var, flag)
+                options = replace(options, **{fld: value})
+        return options
+
+    @classmethod
+    def from_flags(
+        cls,
+        no_fastpath: bool = False,
+        debug_checks: bool = False,
+        no_calqueue: bool = False,
+    ) -> "SimOptions":
+        """Build options from CLI flag values, layered over the
+        environment aliases (explicit flags win)."""
+        options = cls.from_env()
+        if no_fastpath:
+            options = replace(options, fastpath=False)
+        if debug_checks:
+            options = replace(options, debug_checks=True)
+        if no_calqueue:
+            options = replace(options, calqueue=False)
+        return options
+
+    def apply(self) -> "SimOptions":
+        """Install these options as the process-wide current set.
+
+        Mirrors the toggles into the modules that consume them
+        (``repro.core.fastpath`` keeps its ``ENABLED``/``DEBUG`` module
+        globals for backward compatibility; new engines pick up the
+        queue mode at construction).  Returns self for chaining.
+        """
+        global _current
+        _current = self
+        from repro.core import fastpath
+
+        fastpath.ENABLED = self.fastpath
+        fastpath.DEBUG = self.debug_checks
+        return self
+
+
+#: The process-wide options; engines and the fast path read this at
+#: construction / import.  ``SimOptions.apply`` replaces it.
+_current: Optional[SimOptions] = None
+
+
+def current() -> SimOptions:
+    """The active options (initialized from the environment once)."""
+    global _current
+    if _current is None:
+        _current = SimOptions.from_env()
+    return _current
+
+
+def reset_for_tests() -> None:
+    """Forget the cached options and warnings (test isolation)."""
+    global _current
+    _current = None
+    _warned_vars.clear()

@@ -11,12 +11,43 @@ the DSM simulation needs:
   the cluster model uses to deliver remote requests into a running
   compute block.
 
-The inner loop is deliberately allocation-light: heap entries are plain
-``(when, seq, func, arg)`` tuples (no closures), and callback
-registration hands out *cells* that are cancelled in O(1) by
-tombstoning rather than ``list.remove`` — long-lived events (processor
-mailboxes, contended locks) see one register/cancel pair per wait, and
-the old linear removal made that quadratic over a run.
+The inner loop is deliberately allocation-light, and (as of the PR 4
+overhaul) the scheduler itself is a **bucketed calendar queue**: pending
+callbacks are grouped into per-timestamp buckets (a dict keyed by the
+exact firing time, with a small heap ordering the distinct times), so
+the extremely common same-timestamp schedules — event fire delivery,
+barrier wake-ups of every waiting processor, interrupt posting —
+are O(1) list appends instead of O(log n) heap pushes of fresh tuples.
+Within a bucket, entries fire in push order, which is exactly the
+``(when, seq)`` order the old binary heap produced, so simulated
+results are bit-identical (``tests/test_engine_queue.py`` proves the
+orders equal on random schedules; the goldens run in both modes).
+
+Two further allocation levers ride on the same switch:
+
+* **Event pooling** — :meth:`Engine.timeout` and :meth:`Engine.any_of`
+  recycle their objects through per-engine free lists.  An event
+  returns to the pool at the end of its fire delivery (when no live
+  reference can observe its state anymore — waiters resume *during*
+  delivery); each reuse bumps a generation counter and resets the
+  callback list, so callbacks can never leak across generations
+  (property-tested in ``tests/test_engine_queue.py``).
+* **No closures on the hot path** — heap entries are plain
+  ``(when, func, arg)``; callback registration hands out *cells*
+  cancelled in O(1) by tombstoning rather than ``list.remove``.
+* **Bare-delay yields** — a process may yield a plain ``float``/``int``
+  instead of a :class:`Timeout`: "resume me in this many microseconds,
+  value ``None``".  The engine schedules the resume with the *same two
+  queue hops* a Timeout takes (fire entry at ``now + delay``, resume
+  entry appended when it pops), so relative ordering against every
+  other same-time entry is bit-identical — but with no event object,
+  no callback cell, and no pool traffic.  ``Processor.busy`` (the
+  single hottest wait in full runs: every protocol-handler occupancy
+  and doubled write goes through it) rides this channel.
+
+Escape hatch: ``SimOptions(calqueue=False)`` (CLI ``--no-calqueue``,
+deprecated alias ``REPRO_DSM_NO_CALQUEUE=1``) restores the plain binary
+heap and per-event allocation for A/B verification.
 """
 
 from __future__ import annotations
@@ -45,6 +76,10 @@ Cell = List[Optional[Callable]]
 #: this count and outnumber the live entries.
 _COMPACT_MIN_DEAD = 8
 
+#: Sentinel ``_waiting_on`` value while a process sleeps on a bare
+#: delay (no event object to register a callback with).
+_BUSY_WAIT = object()
+
 
 def _succeed(event: "Event") -> None:
     event.succeed()
@@ -55,18 +90,36 @@ def _invoke(action: Callable[[], None]) -> None:
 
 
 def _fire(event: "Event") -> None:
-    """Deliver a fired event to the callbacks registered at fire time."""
+    """Deliver a fired event to the callbacks registered at fire time.
+
+    Pooled events are recycled *after* the delivery loop: every waiter
+    has resumed (resumption happens synchronously inside its callback),
+    so no live code can observe the object's state afterwards — only
+    identity comparisons against still-held references, which reuse
+    does not disturb.
+    """
     cells, event.callbacks = event.callbacks, None
     for cell in cells:
         callback = cell[0]
         if callback is not None:
             callback(event)
+    pool = event._recycle_list
+    if pool is not None:
+        pool.append(event)
 
 
 class Event:
     """A one-shot event; fires at most once with an optional value."""
 
-    __slots__ = ("engine", "callbacks", "_dead", "_triggered", "value")
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_dead",
+        "_triggered",
+        "value",
+        "_gen",
+        "_recycle_list",
+    )
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -74,10 +127,25 @@ class Event:
         self._dead = 0
         self._triggered = False
         self.value: Any = None
+        self._gen = 0
+        self._recycle_list: Optional[list] = None
 
     @property
     def triggered(self) -> bool:
         return self._triggered
+
+    @property
+    def generation(self) -> int:
+        """How many times this object has been recycled (pooled events)."""
+        return self._gen
+
+    def _reset_for_reuse(self) -> None:
+        """Re-arm a recycled event: fresh callbacks, next generation."""
+        self.callbacks = []
+        self._dead = 0
+        self._triggered = False
+        self.value = None
+        self._gen += 1
 
     def add_callback(self, callback: Callable[["Event"], None]) -> Cell:
         """Register ``callback`` for the fire; returns its cancel cell."""
@@ -114,6 +182,8 @@ class Event:
         if self.callbacks:
             self.engine._push(self.engine.now, _fire, self)
         else:
+            # No waiters: never delivered, so never recycled — the
+            # caller may still hold the object and inspect its state.
             self.callbacks = None
         return self
 
@@ -138,11 +208,19 @@ class AnyOf(Event):
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine)
+        self._arm(events)
+
+    def _arm(self, events: Iterable[Event]) -> None:
         self.events = list(events)
         if not self.events:
             raise ValueError("AnyOf needs at least one event")
-        fired = next((e for e in self.events if e._triggered), None)
+        fired = None
+        for e in self.events:
+            if e._triggered:
+                fired = e
+                break
         if fired is not None:
+            self._cells = ()
             self.succeed(fired)
             return
         self._cells = [e.add_callback(self._child_fired) for e in self.events]
@@ -169,6 +247,8 @@ class Process(Event):
         "_waiting_on",
         "_wait_cell",
         "_interrupt_pending",
+        "_pending_value",
+        "_wait_token",
     )
 
     def __init__(
@@ -185,6 +265,8 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._wait_cell: Optional[Cell] = None
         self._interrupt_pending: Optional[Interrupt] = None
+        self._pending_value: Any = None
+        self._wait_token = 0
         engine._push(engine.now, Process._start, self)
 
     @property
@@ -212,7 +294,11 @@ class Process(Event):
             return
         waited = self._waiting_on
         self._waiting_on = None
-        if waited is not None:
+        if waited is _BUSY_WAIT:
+            # Invalidate the in-flight delay entries; a new token makes
+            # the stale _delay_fire/_delay_resume pair a no-op.
+            self._wait_token += 1
+        elif waited is not None:
             waited.cancel_callback(self._wait_cell)
         try:
             target = self.generator.throw(interrupt)
@@ -233,35 +319,116 @@ class Process(Event):
         except StopIteration as stop:
             self.succeed(stop.value)
             return
+        # Bare delays inline (the dominant resume target on full runs);
+        # everything else through the shared classifier.
+        if type(target) is float or type(target) is int:
+            if target < 0:
+                raise ValueError(f"negative delay {target!r}")
+            self._wait_token += 1
+            self._waiting_on = _BUSY_WAIT
+            engine = self.engine
+            engine._push(
+                engine.now + target, _delay_fire, (self, self._wait_token)
+            )
+            return
         self._wait_for(target)
 
     def _wait_for(self, target: Any) -> None:
-        if not isinstance(target, Event):
-            raise TypeError(
-                f"process {self.name!r} yielded {target!r}; "
-                "processes must yield Event instances"
+        # Bare delays first: with busy/compute riding the delay channel
+        # they outnumber event waits on full runs.
+        if type(target) is float or type(target) is int:
+            # Bare-delay fast channel: resume with value None after
+            # ``target`` microseconds, through the same two queue hops
+            # a Timeout would take (see module docstring).
+            if target < 0:
+                raise ValueError(f"negative delay {target!r}")
+            self._wait_token += 1
+            self._waiting_on = _BUSY_WAIT
+            self.engine._push(
+                self.engine.now + target,
+                _delay_fire,
+                (self, self._wait_token),
             )
-        if target._triggered:
-            self.engine._push(self.engine.now, self._resume_immediate, target)
-        else:
-            self._waiting_on = target
-            self._wait_cell = target.add_callback(self._resume)
+            return
+        if isinstance(target, Event):
+            if target._triggered:
+                # Capture the value now rather than at delivery: a fired
+                # value can never change, and holding no reference to the
+                # event lets pooled events recycle safely.
+                self._pending_value = target.value
+                self.engine._push(
+                    self.engine.now, Process._resume_immediate, self
+                )
+            else:
+                self._waiting_on = target
+                self._wait_cell = target.add_callback(self._resume)
+            return
+        raise TypeError(
+            f"process {self.name!r} yielded {target!r}; "
+            "processes must yield Event instances or bare delays"
+        )
 
-    def _resume_immediate(self, event: Event) -> None:
+    def _resume_immediate(self) -> None:
+        value, self._pending_value = self._pending_value, None
         if self._triggered:
             return
         self._waiting_on = None
-        self._step_send(event.value)
+        self._step_send(value)
+
+
+def _delay_fire(pair) -> None:
+    """First hop of a bare delay (the Timeout ``_succeed`` stand-in)."""
+    proc = pair[0]
+    if proc._wait_token != pair[1]:
+        return  # interrupted away from this delay
+    proc.engine._push(proc.engine.now, _delay_resume, pair)
+
+
+def _delay_resume(pair) -> None:
+    """Second hop of a bare delay (the ``_fire`` -> resume stand-in)."""
+    proc = pair[0]
+    if proc._wait_token != pair[1]:
+        return
+    proc._wait_token += 1
+    proc._waiting_on = None
+    proc._step_send(None)
 
 
 class Engine:
-    """The event loop: a time-ordered heap of pending callbacks."""
+    """The event loop.
 
-    def __init__(self) -> None:
+    Two interchangeable schedulers (selected by
+    :class:`repro.options.SimOptions`, default calendar queue):
+
+    * **calendar queue** — per-timestamp buckets (``_buckets``: exact
+      firing time -> flat ``[func, arg, func, arg, ...]`` list) with a
+      heap of distinct times (``_times``).  Same-time schedules append;
+      within a bucket, entries fire in push order — identical global
+      order to the binary heap's ``(when, seq)``.
+    * **binary heap** — the original time-ordered heap of
+      ``(when, seq, func, arg)`` tuples (the A/B escape hatch).
+    """
+
+    def __init__(self, options=None) -> None:
+        if options is None:
+            from repro import options as _options_mod
+
+            options = _options_mod.current()
         self.now: float = 0.0
+        self.calqueue: bool = bool(getattr(options, "calqueue", True))
+        # binary-heap state
         self._heap: List = []
         self._seq = 0
+        # calendar-queue state
+        self._times: List[float] = []
+        self._buckets: dict = {}
         self._processes: List[Process] = []
+        # free lists for pooled events (calendar-queue mode only; the
+        # escape hatch restores per-event allocation wholesale)
+        self._timeout_pool: List[Timeout] = []
+        self._anyof_pool: List[AnyOf] = []
+        if self.calqueue:
+            self._push = self._push_bucket  # type: ignore[method-assign]
 
     # -- public construction helpers ----------------------------------
 
@@ -281,31 +448,65 @@ class Engine:
             raise ValueError("cannot schedule in the past")
         self._push(when, _invoke, action)
 
+    def schedule(
+        self, when: float, func: Callable[[Any], None], arg: Any = None
+    ) -> None:
+        """Run ``func(arg)`` at absolute sim time ``when``.
+
+        The closure-free sibling of :meth:`call_at`: hot paths
+        (messaging continuations, lock grants, barrier releases) push
+        a plain ``(func, arg)`` pair instead of building a lambda.
+        """
+        if when < self.now:
+            raise ValueError("cannot schedule in the past")
+        self._push(when, func, arg)
+
+    def succeed_at(self, when: float, event: Event) -> None:
+        """Fire ``event`` (with no value) at absolute sim time ``when``."""
+        if when < self.now:
+            raise ValueError("cannot schedule in the past")
+        self._push(when, _succeed, event)
+
     def event(self) -> Event:
         return Event(self)
 
     def timeout(self, delay: float) -> Timeout:
-        return Timeout(self, delay)
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            t = pool.pop()
+            t._reset_for_reuse()
+            t.delay = delay
+            self._push(self.now + delay, _succeed, t)
+            return t
+        t = Timeout(self, delay)
+        if self.calqueue:
+            t._recycle_list = pool
+        return t
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
-        return AnyOf(self, events)
+        pool = self._anyof_pool
+        if pool:
+            a = pool.pop()
+            a._reset_for_reuse()
+            a._arm(events)
+            return a
+        a = AnyOf(self, events)
+        if self.calqueue:
+            a._recycle_list = pool
+        return a
 
     # -- running -------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until no work remains (or ``until`` sim time); return now."""
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            when = heap[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            _when, _seq, func, arg = pop(heap)
-            if when < self.now:
-                raise RuntimeError("event scheduled in the past")
-            self.now = when
-            func(arg)
+        if self.calqueue:
+            exhausted = self._run_calqueue(until)
+        else:
+            exhausted = self._run_heap(until)
+        if not exhausted:
+            return self.now  # stopped at ``until`` with work pending
         stuck = [
             p.name for p in self._processes if p.is_alive and not p.daemon
         ]
@@ -315,8 +516,75 @@ class Engine:
             )
         return self.now
 
+    def _run_heap(self, until: Optional[float]) -> bool:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            when = heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return False
+            _when, _seq, func, arg = pop(heap)
+            if when < self.now:
+                raise RuntimeError("event scheduled in the past")
+            self.now = when
+            func(arg)
+        return True
+
+    def _run_calqueue(self, until: Optional[float]) -> bool:
+        times = self._times
+        buckets = self._buckets
+        pop = heapq.heappop
+        while times:
+            when = times[0]
+            if until is not None and when > until:
+                self.now = until
+                return False
+            if when < self.now:
+                raise RuntimeError("event scheduled in the past")
+            pop(times)
+            self.now = when
+            # Entries scheduled for this same time *during* delivery
+            # open a fresh bucket (this one is already detached), which
+            # the loop drains on its next iteration — preserving global
+            # push order exactly.
+            bucket = buckets.pop(when)
+            n = len(bucket)
+            i = 0
+            while i < n:
+                func = bucket[i]
+                arg = bucket[i + 1]
+                i += 2
+                if func is _delay_fire:
+                    # A bare delay's first hop.  Its second hop would be
+                    # appended to the fresh bucket for this same time;
+                    # when this is the last entry of the current bucket
+                    # and no fresh bucket exists, that append position
+                    # is provably "run next" — so skip the heap round
+                    # trip and deliver the resume inline.  (Identical
+                    # firing order either way; the detour is only an
+                    # allocation/heap saving.)
+                    if i == n and when not in buckets:
+                        _delay_resume(arg)
+                    else:
+                        _delay_fire(arg)
+                else:
+                    func(arg)
+        return True
+
     # -- internals -----------------------------------------------------
 
     def _push(self, when: float, func: Callable[[Any], None], arg: Any) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (when, self._seq, func, arg))
+
+    def _push_bucket(
+        self, when: float, func: Callable[[Any], None], arg: Any
+    ) -> None:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            heapq.heappush(self._times, when)
+            self._buckets[when] = [func, arg]
+        else:
+            bucket.append(func)
+            bucket.append(arg)

@@ -6,9 +6,11 @@ optimizations landed.  These tests re-run the same configurations and
 require *exact* equality — the optimizations must change wall-clock
 time only, never a single simulated microsecond or counter.
 
-The goldens predate the shared-access fast path, so every case runs
-twice — fast path on and off (``REPRO_DSM_NO_FASTPATH=1``) — proving
-both modes reproduce the pre-optimization simulated results exactly.
+The goldens predate the shared-access fast path and the calendar-queue
+engine, so every case runs four ways — fast path on/off crossed with
+calendar-queue/heap scheduling — proving every mode reproduces the
+pre-optimization simulated results exactly.  Runs go through the
+public ``repro.api`` facade, so the goldens also pin its behaviour.
 
 Regenerate the goldens only when the simulation's *semantics* change
 intentionally (a protocol fix, a cost-model change):
@@ -18,11 +20,12 @@ intentionally (a protocol fix, a cost-model change):
 
 import json
 import pathlib
+from dataclasses import replace
 
 import pytest
 
-from repro import RunConfig, run_program, run_sequential, variant_by_name
-from repro.apps import registry
+from repro import api
+from repro import options as options_mod
 from repro.core import fastpath
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_engine.json"
@@ -30,20 +33,29 @@ GOLDENS = json.loads(GOLDEN_PATH.read_text())
 
 
 def _run(golden):
-    module = registry.load(golden["app"])
-    params = module.default_params(golden["scale"])
-    if golden["variant"] == "sequential":
-        return run_sequential(module.program(), params)
-    cfg = RunConfig(
-        variant=variant_by_name(golden["variant"]),
-        nprocs=golden["nprocs"],
-        warm_start=True,
+    variant = (
+        None if golden["variant"] == "sequential" else golden["variant"]
     )
-    return run_program(module.program(), cfg, params)
+    return api.run_point(
+        golden["app"],
+        variant,
+        golden.get("nprocs", 1),
+        scale=golden["scale"],
+    )
+
+
+@pytest.fixture(params=[True, False], ids=["calqueue", "heap"])
+def queue_mode(request):
+    saved = options_mod.current()
+    replace(saved, calqueue=request.param).apply()
+    yield request.param
+    saved.apply()
 
 
 @pytest.fixture(params=[True, False], ids=["fastpath", "legacy"])
-def fastpath_mode(request):
+def fastpath_mode(request, queue_mode):
+    # Depends on queue_mode so its set_enabled lands after (and its
+    # teardown before) the queue fixture's SimOptions.apply().
     saved = fastpath.ENABLED
     fastpath.set_enabled(request.param)
     yield request.param

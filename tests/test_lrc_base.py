@@ -45,8 +45,7 @@ class MetadataOnlyProtocol(LrcProtocolBase):
 
     def _note_remote_write(self, proc, writer, iid, page_idx):
         self.noted.setdefault(proc.pid, []).append((writer, iid, page_idx))
-        return
-        yield
+        return 0.0
 
     def _serve_data(self, proc, request):
         raise RuntimeError(f"no data requests expected: {request.kind}")

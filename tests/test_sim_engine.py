@@ -283,11 +283,61 @@ def test_call_at_rejects_past(engine):
 
 def test_yielding_non_event_raises(engine):
     def bad():
-        yield 42
+        yield "soon"
 
     engine.process(bad())
     with pytest.raises(TypeError, match="must yield Event"):
         engine.run()
+
+
+def test_yielding_bare_delay_sleeps(engine):
+    # A bare number is the allocation-free equivalent of
+    # ``yield engine.timeout(n)``: resume after n us with value None.
+    log = []
+
+    def proc():
+        got = yield 5.0
+        log.append((engine.now, got))
+        yield 3  # ints work too
+        log.append((engine.now, None))
+
+    engine.process(proc())
+    engine.run()
+    assert log == [(5.0, None), (8.0, None)]
+
+
+def test_yielding_negative_delay_raises(engine):
+    def bad():
+        yield -1.0
+
+    engine.process(bad())
+    with pytest.raises(ValueError, match="negative delay"):
+        engine.run()
+
+
+def test_interrupt_during_bare_delay(engine):
+    # An interrupt thrown mid-delay must cancel the pending resume: the
+    # process moves on and the stale wakeup may not fire it twice.
+    log = []
+
+    def sleeper():
+        try:
+            yield 100.0
+            log.append("full sleep")
+        except Interrupt as err:
+            log.append(("interrupted", engine.now, err.cause))
+        yield 5.0
+        log.append(("resumed", engine.now))
+
+    proc = engine.process(sleeper())
+
+    def poker():
+        yield engine.timeout(10.0)
+        proc.interrupt("wake")
+
+    engine.process(poker())
+    engine.run()
+    assert log == [("interrupted", 10.0, "wake"), ("resumed", 15.0)]
 
 
 def test_determinism_across_runs():
