@@ -24,7 +24,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.config import WorkingSet
-from repro.core import Program, SharedArray
+from repro.core import Program, Region, SharedArray
+from repro.apps import kernels
 from repro.apps.common import deterministic_rng
 
 THETA = 0.6  # opening angle
@@ -229,6 +230,21 @@ def worker(env, shared: Dict, params: Dict):
     masses, max_cells = shared["masses"], shared["max_cells"]
     mine = _my_chunks(env.rank, env.nprocs, n)
     ws = WorkingSet(primary=0)
+    # Bulk regions over this rank's interleaved bodies, built once: the
+    # acceleration columns (one segment per body), and the pos/vel
+    # columns as *two* segments per body so the batched write replays
+    # the scalar path's two write calls — and their per-span protocol
+    # charges — exactly.
+    acc_region = bodies.region_row_gather(mine, 6, 9)
+    posvel_region = Region(
+        bodies,
+        [
+            seg
+            for b in mine
+            for seg in ((b * BODY_FIELDS, 3), (b * BODY_FIELDS + 3, 3))
+        ],
+        (len(mine), 6),
+    )
     for _ in range(steps):
         # Phase 1: sequential tree construction on processor 0.
         if env.rank == 0:
@@ -268,20 +284,33 @@ def worker(env, shared: Dict, params: Dict):
             yield from env.compute(
                 inter * US_PER_INTERACTION, polls=max(inter, 1), ws=ws
             )
-        for body in mine:
-            yield from bodies.write_range(
-                env, body * BODY_FIELDS + 6, new_acc[body]
-            )
+        if kernels.ENABLED and mine:
+            acc_block = np.stack([new_acc[b] for b in mine])
+            yield from bodies.write_region(env, acc_region, acc_block)
+        else:
+            for body in mine:
+                yield from bodies.write_range(
+                    env, body * BODY_FIELDS + 6, new_acc[body]
+                )
         yield from env.barrier(0)
 
         # Phase 3: position/velocity update for assigned bodies.
         all_bodies = yield from bodies.read_all(env)
         yield from env.compute(len(mine) * 1.0, polls=len(mine))
-        for body in mine:
-            vel = all_bodies[body, 3:6] + all_bodies[body, 6:9] * DT
-            pos = all_bodies[body, 0:3] + vel * DT
-            yield from bodies.write_range(env, body * BODY_FIELDS, pos)
-            yield from bodies.write_range(env, body * BODY_FIELDS + 3, vel)
+        if kernels.ENABLED and mine:
+            pos_block, vel_block = kernels.barnes_integrate(
+                all_bodies, mine, DT
+            )
+            posvel = np.concatenate([pos_block, vel_block], axis=1)
+            yield from bodies.write_region(env, posvel_region, posvel)
+        else:
+            for body in mine:
+                vel = all_bodies[body, 3:6] + all_bodies[body, 6:9] * DT
+                pos = all_bodies[body, 0:3] + vel * DT
+                yield from bodies.write_range(env, body * BODY_FIELDS, pos)
+                yield from bodies.write_range(
+                    env, body * BODY_FIELDS + 3, vel
+                )
         yield from env.barrier(0)
     env.stop_timer()
     if env.rank == 0:

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import band, deterministic_rng
 
 US_PER_EDGE = 0.3  # one weighted dependency update
@@ -91,18 +92,26 @@ def worker(env, shared: Dict, params: Dict):
             if not inside_mask.all():
                 full = yield from other.read_range(env, 0, n)
             yield from env.compute(edges * US_PER_EDGE, polls=edges, ws=ws)
-            source = full if full is not None else None
-            gathered = np.where(
-                inside_mask,
-                window[np.clip(my_targets - rlo, 0, rhi - rlo - 1)],
-                0.0,
-            )
-            if source is not None:
-                gathered = np.where(
-                    inside_mask, gathered, source[my_targets]
+            if kernels.ENABLED:
+                gathered = kernels.em3d_gather(
+                    window, full, my_targets, inside_mask, rlo, rhi
                 )
+            else:
+                source = full if full is not None else None
+                gathered = np.where(
+                    inside_mask,
+                    window[np.clip(my_targets - rlo, 0, rhi - rlo - 1)],
+                    0.0,
+                )
+                if source is not None:
+                    gathered = np.where(
+                        inside_mask, gathered, source[my_targets]
+                    )
             current = yield from mine.read_range(env, lo, n_mine)
-            updated = current - (my_weights * gathered).sum(axis=1)
+            if kernels.ENABLED:
+                updated = kernels.em3d_update(current, my_weights, gathered)
+            else:
+                updated = current - (my_weights * gathered).sum(axis=1)
             yield from mine.write_range(env, lo, updated)
             yield from env.barrier(0)
     env.stop_timer()

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import deterministic_rng
 
 US_PER_ELEM = 0.1  # one dependent multiply-subtract, memory bound
@@ -113,6 +114,16 @@ def worker(env, shared: Dict, params: Dict):
     mine = {
         r: None for r in range(rank, n, nprocs)
     }
+    # Vectorized-path mirror of this rank's rows.  Each row has exactly
+    # one writer (this rank), so once gathered hot the mirror always
+    # equals shared memory, and the pages it shadows can never be
+    # invalidated (no other processor ever produces write notices for
+    # them) — skipping the re-read each round drops only reads that
+    # would have been event-free hot hits.  ``mirror_rows`` is the
+    # ascending row list the mirror covers; each round's ``my_rows`` is
+    # a suffix of it.
+    mirror = None
+    mirror_rows = None
     for k in range(n - 1):
         owner = k % nprocs
         if owner == rank:
@@ -127,12 +138,40 @@ def worker(env, shared: Dict, params: Dict):
         if not my_rows:
             continue
         rank_rows = len(my_rows)
-        elems = rank_rows * (n - k)
+        elems = kernels.gauss_elim_elems(rank_rows, n, k)
         yield from env.compute(
             elems * US_PER_ELEM,
             polls=elems,
             ws=_ws(n, k, rank_rows, row_bytes),
         )
+        if kernels.ENABLED:
+            if mirror is None:
+                # One hot gather of my full remaining rows seeds the
+                # mirror.  A miss (cold page, or fastpath disabled)
+                # leaves it unseeded and this round runs the scalar
+                # loop below — bit-identical fault replay — until a
+                # later round gathers hot.
+                got = matrix.region_view(
+                    env, matrix.region_row_gather(my_rows, 0, width)
+                )
+                if got is not None:
+                    mirror = np.array(got)  # writable copy
+                    mirror_rows = my_rows
+            if mirror is not None:
+                # One kernel call over a strided slice of the mirror,
+                # then one region write of the live columns — same
+                # per-row [k, n] segments, same row order, as the
+                # scalar loop's write_range calls.
+                i0 = len(mirror_rows) - rank_rows
+                block = mirror[i0:, k : n + 1]
+                updated = kernels.gauss_eliminate(block, pivot, k, n)
+                yield from matrix.write_region(
+                    env,
+                    matrix.region_row_gather(my_rows, k, n + 1),
+                    updated,
+                )
+                block[:] = updated
+                continue
         for r in my_rows:
             current = matrix.rows(env, r, r + 1)
             if current is None:

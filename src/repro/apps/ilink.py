@@ -24,7 +24,8 @@ from typing import Dict
 import numpy as np
 
 from repro.config import WorkingSet
-from repro.core import Program, SharedArray
+from repro.core import Program, Region, SharedArray
+from repro.apps import kernels
 from repro.apps.common import deterministic_rng
 
 US_PER_UPDATE = 25.0  # one genotype-probability recurrence
@@ -70,6 +71,10 @@ def worker(env, shared: Dict, params: Dict):
     pool, result, slots = shared["pool"], shared["result"], shared["slots"]
     rank, nprocs = env.rank, env.nprocs
     ws = WorkingSet(primary=0)
+    # One region per pool array over this rank's round-robin slots, each
+    # slot its own one-element segment: the batched scatter replays the
+    # element-by-element write loop's per-span protocol charges exactly.
+    scatter_regions: Dict[int, Region] = {}
     for it in range(iters):
         # Parallel sparse update: the master assigns elements round-robin.
         n_updates = 0
@@ -80,24 +85,45 @@ def worker(env, shared: Dict, params: Dict):
             row = yield from pool.read_rows(env, a, a + 1)
             row = row[0]
             values = row[my_slots]
-            updated = 0.25 * values + 0.5 * values * values + 0.01 * (it + 1)
             n_updates += len(my_slots)
-            # Scatter the sparse writes element by element within runs of
-            # contiguous slots, touching only a few words per page.
-            for slot, value in zip(my_slots, updated):
-                yield from pool.write_range(
-                    env, a * elems + int(slot), [value]
+            if kernels.ENABLED:
+                updated = kernels.ilink_update(values, it)
+                reg = scatter_regions.get(a)
+                if reg is None:
+                    reg = Region(
+                        pool,
+                        [(a * elems + int(s), 1) for s in my_slots],
+                        (len(my_slots),),
+                    )
+                    scatter_regions[a] = reg
+                yield from pool.write_region(env, reg, updated)
+            else:
+                updated = (
+                    0.25 * values + 0.5 * values * values + 0.01 * (it + 1)
                 )
+                # Scatter the sparse writes element by element within runs
+                # of contiguous slots, touching only a few words per page.
+                for slot, value in zip(my_slots, updated):
+                    yield from pool.write_range(
+                        env, a * elems + int(slot), [value]
+                    )
         yield from env.compute(
             max(n_updates, 1) * US_PER_UPDATE, polls=max(n_updates, 1), ws=ws
         )
         yield from env.barrier(0)
         # Serial component: the master sums all contributions.
         if rank == 0:
-            total = np.zeros(arrays)
-            for a in range(arrays):
-                row = yield from pool.read_rows(env, a, a + 1)
-                total[a] = row[0].sum()
+            if kernels.ENABLED:
+                pool_rows = []
+                for a in range(arrays):
+                    row = yield from pool.read_rows(env, a, a + 1)
+                    pool_rows.append(row[0])
+                total = kernels.ilink_reduce(pool_rows)
+            else:
+                total = np.zeros(arrays)
+                for a in range(arrays):
+                    row = yield from pool.read_rows(env, a, a + 1)
+                    total[a] = row[0].sum()
             yield from env.compute(
                 arrays * elems * US_PER_SUM_ELEM, polls=arrays * elems
             )

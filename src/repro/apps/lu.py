@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import deterministic_rng
 
 # Per-flop cost of the blocked kernels (dgemm-like inner loops, cache
@@ -80,10 +81,44 @@ def worker(env, shared: Dict, params: Dict):
     nb = n // block
     matrix = shared["matrix"]
     ws = _working_set(block)
-    b3 = float(block) ** 3
+    if kernels.ENABLED:
+        # The kernels are bit-identical to the scalar helpers below
+        # (same IEEE ops, same order) with ``np.outer``'s
+        # asarray/ravel detour replaced by direct broadcasting, and
+        # they copy their input up front, so they accept the read-only
+        # zero-copy block views from ``region_view``.
+        factor_diag = kernels.lu_factor_diag
+        solve_col = kernels.lu_solve_col
+        solve_row = kernels.lu_solve_row
+        interior_update = kernels.lu_interior_update
+    else:
+        factor_diag = _factor_diag
+        solve_col = _solve_col
+        solve_row = _solve_row
+        interior_update = _interior_update
+
+    block_regions = {}  # row -> Region, page spans computed once
+    view_missed = set()  # rows whose region_view probe missed once
 
     def read_block(bi, bj):
         row = _block_row(nb, bi, bj)
+        if kernels.ENABLED and row not in view_missed:
+            # Hot hit: a read-only zero-copy view of the block's page
+            # (one block is page-contiguous).  Blocks are only written
+            # in a *different* phase from every read of them, with
+            # barriers between, so a view taken here holds stable bytes
+            # for as long as the caller keeps it.  Remote blocks are
+            # re-invalidated every step, so after the first miss the
+            # probe can never pay off — skip it from then on (the view
+            # is event-free, so skipping it cannot change the
+            # simulation).
+            reg = block_regions.get(row)
+            if reg is None:
+                reg = block_regions[row] = matrix.region_rows(row, row + 1)
+            view = matrix.region_view(env, reg)
+            if view is not None:
+                return view.reshape(block, block)
+            view_missed.add(row)
         rows = matrix.rows(env, row, row + 1)  # hot: no generator frame
         if rows is None:
             rows = yield from matrix.read_rows(env, row, row + 1)
@@ -99,9 +134,11 @@ def worker(env, shared: Dict, params: Dict):
         if _owner(k, k, nb, env.nprocs) == env.rank:
             diag = yield from read_block(k, k)
             yield from env.compute(
-                (b3 / 3) * US_PER_FLOP, polls=block * block, ws=ws
+                kernels.flop_cost(kernels.lu_diag_flops(block), US_PER_FLOP),
+                polls=block * block,
+                ws=ws,
             )
-            lu = _factor_diag(diag)
+            lu = factor_diag(diag)
             yield from write_block(k, k, lu)
         yield from env.barrier(0)
 
@@ -113,17 +150,25 @@ def worker(env, shared: Dict, params: Dict):
                     diag = yield from read_block(k, k)
                 mine = yield from read_block(bi, k)
                 yield from env.compute(
-                    (b3 / 2) * US_PER_FLOP, polls=block * block, ws=ws
+                    kernels.flop_cost(
+                        kernels.lu_perimeter_flops(block), US_PER_FLOP
+                    ),
+                    polls=block * block,
+                    ws=ws,
                 )
-                yield from write_block(bi, k, _solve_col(mine, diag))
+                yield from write_block(bi, k, solve_col(mine, diag))
             if _owner(k, bi, nb, env.nprocs) == env.rank:
                 if diag is None:
                     diag = yield from read_block(k, k)
                 mine = yield from read_block(k, bi)
                 yield from env.compute(
-                    (b3 / 2) * US_PER_FLOP, polls=block * block, ws=ws
+                    kernels.flop_cost(
+                        kernels.lu_perimeter_flops(block), US_PER_FLOP
+                    ),
+                    polls=block * block,
+                    ws=ws,
                 )
-                yield from write_block(k, bi, _solve_row(mine, diag))
+                yield from write_block(k, bi, solve_row(mine, diag))
         yield from env.barrier(0)
 
         # Phase 3: interior update A[i][j] -= L[i][k] @ U[k][j].
@@ -139,9 +184,13 @@ def worker(env, shared: Dict, params: Dict):
                     row_cache[bj] = yield from read_block(k, bj)
                 mine = yield from read_block(bi, bj)
                 yield from env.compute(
-                    2 * b3 * US_PER_FLOP, polls=block * block, ws=ws
+                    kernels.flop_cost(
+                        kernels.lu_interior_flops(block), US_PER_FLOP
+                    ),
+                    polls=block * block,
+                    ws=ws,
                 )
-                updated = mine - col_cache[bi] @ row_cache[bj]
+                updated = interior_update(mine, col_cache[bi], row_cache[bj])
                 yield from write_block(bi, bj, updated)
         yield from env.barrier(0)
     env.stop_timer()
@@ -178,6 +227,13 @@ def _solve_row(a: np.ndarray, diag_lu: np.ndarray) -> np.ndarray:
     for i in range(n):
         out[i + 1 :, :] -= np.outer(diag_lu[i + 1 :, i], out[i, :])
     return out
+
+
+def _interior_update(
+    mine: np.ndarray, col: np.ndarray, row: np.ndarray
+) -> np.ndarray:
+    """A[i][j] -= L[i][k] @ U[k][j] (the dgemm phase)."""
+    return mine - col @ row
 
 
 def program() -> Program:

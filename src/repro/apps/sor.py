@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import band, deterministic_rng
 
 # Per-cell stencil cost: four flops plus the loads/stores of a
@@ -78,17 +79,73 @@ def worker(env, shared: Dict, params: Dict):
     # paper attributes SOR's Cashmere overhead purely to the doubled
     # write instructions).
     ws = WorkingSet(primary=0)
+    # Band mirrors (kernel layer): this rank is the only writer of rows
+    # [ulo, uhi) of either color, so those rows — once read or written —
+    # always match shared memory bitwise, and re-gathering them per phase
+    # only repeats event-free hot reads.  Each buffer holds the mirrored
+    # band in [1:-1]; only the two halo rows [0] / [-1] are refreshed
+    # from shared memory each phase.  Any cold halo page falls back to
+    # the full-range read below, which faults the same pages in the same
+    # ascending order the scalar path does.
+    halo_buf: Dict[int, np.ndarray] = {}
     for _ in range(iters):
         for color, source in ((red, black), (black, red)):
             if cells:
-                halo = source.rows(env, ulo - 1, uhi + 1)
+                halo = None
+                if kernels.ENABLED:
+                    buf = halo_buf.get(id(source))
+                    if buf is not None and source.rows_hot(env, ulo, uhi):
+                        # The mirrored interior is provably current
+                        # (single writer) and its pages are all hot, so
+                        # only the two halo rows can be cold.  Fetching
+                        # them alone faults exactly the pages the
+                        # full-band read would — the cold subset of the
+                        # top row's span, then of the bottom row's, both
+                        # ascending, with any page shared between the
+                        # two spans faulted once by the first read —
+                        # so the event stream is identical.
+                        top = source.rows(env, ulo - 1, ulo)
+                        if top is None:
+                            top = yield from source.read_rows(
+                                env, ulo - 1, ulo
+                            )
+                        bot = source.rows(env, uhi, uhi + 1)
+                        if bot is None:
+                            bot = yield from source.read_rows(
+                                env, uhi, uhi + 1
+                            )
+                        buf[0] = top[0]
+                        buf[-1] = bot[0]
+                        halo = buf
                 if halo is None:
-                    halo = yield from source.read_rows(env, ulo - 1, uhi + 1)
+                    halo = source.rows(env, ulo - 1, uhi + 1)
+                    if halo is None:
+                        halo = yield from source.read_rows(
+                            env, ulo - 1, uhi + 1
+                        )
+                    if kernels.ENABLED:
+                        buf = halo_buf.get(id(source))
+                        if buf is None:
+                            buf = np.array(halo)
+                            halo_buf[id(source)] = buf
+                        else:
+                            buf[:] = halo
+                        halo = buf
             yield from env.compute(
                 cells * US_PER_CELL, polls=cells * POLLS_PER_CELL, ws=ws
             )
             if cells:
-                yield from color.write_rows(env, ulo, _phase_update(halo))
+                if kernels.ENABLED:
+                    updated = kernels.sor_phase_update(halo)
+                else:
+                    updated = _phase_update(halo)
+                yield from color.write_rows(env, ulo, updated)
+                if kernels.ENABLED:
+                    cbuf = halo_buf.get(id(color))
+                    if cbuf is None:
+                        cbuf = np.empty((uhi - ulo + 2, half))
+                        halo_buf[id(color)] = cbuf
+                    cbuf[1:-1] = updated
             yield from env.barrier(0)
     env.stop_timer()
     if env.rank == 0:

@@ -23,6 +23,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import deterministic_rng
 
 QUEUE_LOCK = 0
@@ -177,6 +178,12 @@ def worker(env, shared: Dict, params: Dict):
     control, freelist = shared["control"], shared["free"]
     best_path_arr = shared["best_path"]
     record = shared["record"]
+    # The search is data-dependent scalar control flow; the kernel layer
+    # hosts the (bit-identical) bound and DFS implementations.
+    if kernels.ENABLED:
+        lower_bound, dfs_solve = kernels.tsp_lower_bound, kernels.tsp_dfs_solve
+    else:
+        lower_bound, dfs_solve = _lower_bound, _dfs_solve
 
     def read_control():
         vals = yield from control.read_range(env, 0, 4)
@@ -226,7 +233,7 @@ def worker(env, shared: Dict, params: Dict):
 
         if c - depth <= local_depth:
             # Solve the subtree locally with DFS.
-            found_len, found_path, nodes = _dfs_solve(d, path, length, best_len)
+            found_len, found_path, nodes = dfs_solve(d, path, length, best_len)
             yield from env.compute(
                 max(nodes, 1) * US_PER_DFS_NODE, polls=max(nodes, 1)
             )
@@ -249,7 +256,7 @@ def worker(env, shared: Dict, params: Dict):
                 continue
             child_len = length + d[last][city]
             child_path = path + [city]
-            child_bound = _lower_bound(d, child_path, child_len)
+            child_bound = lower_bound(d, child_path, child_len)
             children.append((child_bound, child_len, child_path))
         yield from env.compute(
             len(children) * US_PER_BOUND * c, polls=len(children) * c

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
+from repro.apps import kernels
 from repro.apps.common import band, deterministic_rng
 
 US_PER_PAIR = 0.45  # Lennard-Jones pair: ~30 flops incl. the sqrt
@@ -76,6 +77,9 @@ def worker(env, shared: Dict, params: Dict):
     n_mine = hi - lo
     pairs = sum(max(n - i - 1, 0) for i in range(lo, hi))
     ws = WorkingSet(primary=min(n * 3 * 8, 12 * 1024))
+    # One region per victim chunk, reused across the migratory
+    # accumulation loop every step (the chunk bands never change).
+    accum_regions: Dict[int, object] = {}
     for _ in range(steps):
         # Zero the global force vectors for the chunk we own.
         yield from force.write_rows(env, lo, np.zeros((n_mine, 3)))
@@ -84,7 +88,10 @@ def worker(env, shared: Dict, params: Dict):
         # Force phase: all positions against my chunk.
         all_pos = yield from pos.read_rows(env, 0, n)
         yield from env.compute(pairs * US_PER_PAIR, polls=pairs, ws=ws)
-        contrib = _pair_forces(all_pos[lo:hi], lo, all_pos)
+        if kernels.ENABLED:
+            contrib = kernels.water_pair_forces(all_pos[lo:hi], lo, all_pos)
+        else:
+            contrib = _pair_forces(all_pos[lo:hi], lo, all_pos)
 
         # Migratory accumulation under per-processor locks.
         for victim in range(nprocs):
@@ -93,13 +100,29 @@ def worker(env, shared: Dict, params: Dict):
             if vhi == vlo:
                 continue
             yield from env.lock_acquire(target)
-            current = yield from force.read_rows(env, vlo, vhi)
+            updated = None
+            if kernels.ENABLED:
+                reg = accum_regions.get(target)
+                if reg is None:
+                    reg = force.region_rows(vlo, vhi)
+                    accum_regions[target] = reg
+                current = force.region_view(env, reg)
+                if current is not None:
+                    # Consume the (possibly zero-copy) view before the
+                    # next yield; the add snapshots the same bytes the
+                    # scalar path's read copied.
+                    updated = current + contrib[vlo:vhi]
+            if updated is None:
+                current = yield from force.read_rows(env, vlo, vhi)
             yield from env.compute(
                 (vhi - vlo) * 3 * 0.05, polls=vhi - vlo
             )
-            yield from force.write_rows(
-                env, vlo, current + contrib[vlo:vhi]
-            )
+            if updated is None:
+                yield from force.write_rows(
+                    env, vlo, current + contrib[vlo:vhi]
+                )
+            else:
+                yield from force.write_region(env, reg, updated)
             yield from env.lock_release(target)
         yield from env.barrier(0)
 
@@ -110,8 +133,13 @@ def worker(env, shared: Dict, params: Dict):
         yield from env.compute(
             n_mine * US_PER_MOL_UPDATE, polls=n_mine, ws=ws
         )
-        new_vel = my_vel + my_force * DT
-        new_pos = my_pos + new_vel * DT
+        if kernels.ENABLED:
+            new_vel, new_pos = kernels.water_integrate(
+                my_pos, my_vel, my_force, DT
+            )
+        else:
+            new_vel = my_vel + my_force * DT
+            new_pos = my_pos + new_vel * DT
         yield from vel.write_rows(env, lo, new_vel)
         yield from pos.write_rows(env, lo, new_pos)
         yield from env.barrier(0)

@@ -8,11 +8,12 @@ from repro.core.runtime.program import (
     run_program,
     run_sequential,
 )
-from repro.core.runtime.shared import SharedArray
+from repro.core.runtime.shared import Region, SharedArray
 
 __all__ = [
     "DsmProtocol",
     "Program",
+    "Region",
     "RunResult",
     "SharedArray",
     "run_program",

@@ -164,6 +164,125 @@ class DsmProtocol(abc.ABC):
             addr += length
         return True
 
+    def fast_gather(
+        self, proc: Processor, space, segs, total: int
+    ) -> Optional[np.ndarray]:
+        """Zero-cost multi-segment read: the region hit path.
+
+        ``segs`` is a list of ``(offset, nbytes)`` byte segments.  If
+        every page spanned by every segment is readable at ``proc``,
+        gather all segments into one contiguous buffer and return it;
+        otherwise return None without touching any page (the caller
+        takes the per-segment fault path).  Readiness is probed for the
+        whole region *before* any byte moves, so a miss has no side
+        effects.  Like :meth:`fast_read`, a hot gather is free and
+        event-less under every protocol.
+
+        Subclasses with cheap page accessors override this to hoist
+        their per-page lookups out of the loop; the default goes
+        through :meth:`page_data`.
+        """
+        perms = self.perms
+        if perms is None:
+            return None
+        pid = proc.pid
+        ps = space.page_size
+        for offset, nbytes in segs:
+            if not perms.read_ready(pid, offset // ps, (offset + nbytes - 1) // ps + 1):
+                return None
+        out = np.empty(total, np.uint8)
+        pos = 0
+        for offset, nbytes in segs:
+            end = offset + nbytes
+            addr = offset
+            while addr < end:
+                page = addr // ps
+                start = addr - page * ps
+                length = min(ps - start, end - addr)
+                out[pos : pos + length] = self.page_data(proc, page)[
+                    start : start + length
+                ]
+                pos += length
+                addr += length
+        return out
+
+    def fast_scatter(
+        self, proc: Processor, space, segs, raw: np.ndarray
+    ) -> bool:
+        """Zero-cost multi-segment write: the region hit path.
+
+        Consumes ``raw`` in segment order.  Only applies when writes are
+        free (``free_writes``) and every page of every segment is
+        already writable — probed up front, so a False return has no
+        side effects and the caller replays the per-segment
+        ``ensure_write_span`` sequence instead.
+        """
+        perms = self.perms
+        if perms is None or not self.free_writes:
+            return False
+        pid = proc.pid
+        ps = space.page_size
+        for offset, nbytes in segs:
+            if not perms.write_ready(pid, offset // ps, (offset + nbytes - 1) // ps + 1):
+                return False
+        pos = 0
+        for offset, nbytes in segs:
+            end = offset + nbytes
+            addr = offset
+            while addr < end:
+                page = addr // ps
+                start = addr - page * ps
+                length = min(ps - start, end - addr)
+                self.page_data(proc, page)[start : start + length] = raw[
+                    pos : pos + length
+                ]
+                pos += length
+                addr += length
+        return True
+
+    def region_gather(self, proc: Processor, space, region):
+        """Zero-cost region read driven by the region's cached span
+        geometry: one fancy-indexed bitmap probe over every spanned
+        page, then one copy per span with no per-byte page arithmetic.
+        Returns None (no side effects) when any page is cold — the
+        caller takes the per-segment fault path.  Semantically identical
+        to :meth:`fast_gather`; this entry just amortizes the geometry
+        through :class:`Region`'s caches.
+        """
+        perms = self.perms
+        if perms is None:
+            return self.fast_gather(proc, space, region.segs, region.nbytes)
+        if not perms.read_ready_pages(proc.pid, region.span_pages()):
+            return None
+        out = np.empty(region.nbytes, np.uint8)
+        pos = 0
+        for page, start, length in region.page_spans():
+            out[pos : pos + length] = self.page_data(proc, page)[
+                start : start + length
+            ]
+            pos += length
+        return out
+
+    def region_scatter(self, proc: Processor, space, region, raw) -> bool:
+        """Zero-cost region write via cached span geometry; the
+        region-shaped counterpart of :meth:`fast_scatter` (same
+        ``free_writes`` gate, same no-side-effects False on any cold
+        page)."""
+        if not self.free_writes:
+            return False
+        perms = self.perms
+        if perms is None:
+            return self.fast_scatter(proc, space, region.segs, raw)
+        if not perms.write_ready_pages(proc.pid, region.span_pages()):
+            return False
+        pos = 0
+        for page, start, length in region.page_spans():
+            self.page_data(proc, page)[start : start + length] = raw[
+                pos : pos + length
+            ]
+            pos += length
+        return True
+
     def ensure_read_span(self, proc: Processor, lo: int, hi: int) -> Generator:
         """Fault in the cold pages of ``[lo, hi)``, in page order.
 

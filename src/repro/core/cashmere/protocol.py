@@ -164,6 +164,53 @@ class CashmereProtocol(DsmProtocol):
             addr += length
         return out
 
+    def fast_gather(self, proc, space, segs, total):
+        pid = proc.pid
+        ps = space.page_size
+        perms = self.perms
+        row = perms.r_rows[pid]
+        try:
+            for offset, nbytes in segs:
+                end = offset + nbytes
+                for page in range(offset // ps, (end - 1) // ps + 1):
+                    if not row[page]:
+                        return None
+        except IndexError:  # page past the bitmap: grow (tests only)
+            perms.ensure_cap(max(o + n - 1 for o, n in segs) // ps + 1)
+            return self.fast_gather(proc, space, segs, total)
+        table = self.entries[pid]
+        out = np.empty(total, np.uint8)
+        pos = 0
+        for offset, nbytes in segs:
+            end = offset + nbytes
+            addr = offset
+            while addr < end:
+                page = addr // ps
+                start = addr - page * ps
+                length = min(ps - start, end - addr)
+                data = table[page].copy
+                if data is None:
+                    data = self._master_page(page)
+                out[pos : pos + length] = data[start : start + length]
+                pos += length
+                addr += length
+        return out
+
+    def region_gather(self, proc, space, region):
+        pid = proc.pid
+        if not self.perms.read_ready_pages(pid, region.span_pages()):
+            return None
+        table = self.entries[pid]
+        out = np.empty(region.nbytes, np.uint8)
+        pos = 0
+        for page, start, length in region.page_spans():
+            data = table[page].copy
+            if data is None:
+                data = self._master_page(page)
+            out[pos : pos + length] = data[start : start + length]
+            pos += length
+        return out
+
     # ------------------------------------------------------------------
     # directory cost helpers
     # ------------------------------------------------------------------

@@ -146,6 +146,27 @@ class PermBitmaps:
             return True
         return bool(row[lo:hi].all())
 
+    def read_ready_pages(self, pid: int, pages: np.ndarray) -> bool:
+        """True iff every page in the index array is readable at ``pid``.
+
+        One fancy-indexed probe for an arbitrary (non-contiguous) page
+        set — the region hit-path check.  Out-of-capacity pages grow
+        the bitmap (as unmapped, so the probe then correctly fails).
+        """
+        try:
+            return bool(self.readable[pid][pages].all())
+        except IndexError:
+            self._grow(int(pages.max()) + 1)
+            return bool(self.readable[pid][pages].all())
+
+    def write_ready_pages(self, pid: int, pages: np.ndarray) -> bool:
+        """True iff every page in the index array is writable at ``pid``."""
+        try:
+            return bool(self.writable[pid][pages].all())
+        except IndexError:
+            self._grow(int(pages.max()) + 1)
+            return bool(self.writable[pid][pages].all())
+
     def readable_at(self, pid: int, page: int) -> bool:
         if page >= self._cap:
             self._grow(page + 1)

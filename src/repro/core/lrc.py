@@ -230,6 +230,124 @@ class LrcProtocolBase(DsmProtocol):
             addr += length
         return True
 
+    def fast_gather(self, proc, space, segs, total):
+        pid = proc.pid
+        ps = space.page_size
+        perms = self.perms
+        row = perms.r_rows[pid]
+        try:
+            for offset, nbytes in segs:
+                end = offset + nbytes
+                for page in range(offset // ps, (end - 1) // ps + 1):
+                    if not row[page]:
+                        return None
+        except IndexError:  # page past the bitmap: grow (tests only)
+            perms.ensure_cap(max(o + n - 1 for o, n in segs) // ps + 1)
+            return self.fast_gather(proc, space, segs, total)
+        pages = self.procs[pid].pages
+        out = np.empty(total, np.uint8)
+        pos = 0
+        for offset, nbytes in segs:
+            end = offset + nbytes
+            addr = offset
+            while addr < end:
+                page = addr // ps
+                start = addr - page * ps
+                length = min(ps - start, end - addr)
+                out[pos : pos + length] = pages[page].copy[
+                    start : start + length
+                ]
+                pos += length
+                addr += length
+        return out
+
+    def region_gather(self, proc, space, region):
+        pid = proc.pid
+        if not self.perms.read_ready_pages(pid, region.span_pages()):
+            return None
+        pages = self.procs[pid].pages
+        out = np.empty(region.nbytes, np.uint8)
+        pos = 0
+        for page, start, length in region.page_spans():
+            out[pos : pos + length] = pages[page].copy[
+                start : start + length
+            ]
+            pos += length
+        return out
+
+    def region_scatter(self, proc, space, region, raw):
+        pid = proc.pid
+        if not self.perms.write_ready_pages(pid, region.span_pages()):
+            return False
+        pages = self.procs[pid].pages
+        pos = 0
+        for page, start, length in region.page_spans():
+            pages[page].copy[start : start + length] = raw[
+                pos : pos + length
+            ]
+            pos += length
+        return True
+
+    def ensure_write_span(self, proc, spans, raw):
+        """Specialized over the base loop: under both LRC protocols a
+        writable page's ``apply_write`` is a local byte copy with no
+        events and no other side effects (diffs are collected against
+        the twin at release), so hot pages skip the generator pair
+        entirely.  Cold pages fault in span order, exactly as the base
+        implementation — the bitmap is consulted at each page's turn
+        because an earlier fault can block and change later pages'
+        state."""
+        pid = proc.pid
+        pages = self.procs[pid].pages
+        perms = self.perms
+        pos = 0
+        for page, start, length in spans:
+            try:
+                writable = perms.w_rows[pid][page]
+            except IndexError:  # page past the bitmap: grow (tests only)
+                perms.ensure_cap(page + 1)
+                writable = perms.w_rows[pid][page]
+            if writable:
+                pages[page].copy[start : start + length] = raw[
+                    pos : pos + length
+                ]
+            else:
+                yield from self.ensure_write(proc, page)
+                yield from self.apply_write(
+                    proc, page, start, raw[pos : pos + length]
+                )
+            pos += length
+
+    def fast_scatter(self, proc, space, segs, raw):
+        pid = proc.pid
+        ps = space.page_size
+        perms = self.perms
+        row = perms.w_rows[pid]
+        try:
+            for offset, nbytes in segs:
+                end = offset + nbytes
+                for page in range(offset // ps, (end - 1) // ps + 1):
+                    if not row[page]:
+                        return False
+        except IndexError:  # page past the bitmap: grow (tests only)
+            perms.ensure_cap(max(o + n - 1 for o, n in segs) // ps + 1)
+            return self.fast_scatter(proc, space, segs, raw)
+        pages = self.procs[pid].pages
+        pos = 0
+        for offset, nbytes in segs:
+            end = offset + nbytes
+            addr = offset
+            while addr < end:
+                page = addr // ps
+                start = addr - page * ps
+                length = min(ps - start, end - addr)
+                pages[page].copy[start : start + length] = raw[
+                    pos : pos + length
+                ]
+                pos += length
+                addr += length
+        return True
+
     def _lock_manager(self, lock_id: int) -> int:
         return lock_id % self.nprocs
 

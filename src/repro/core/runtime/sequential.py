@@ -58,6 +58,21 @@ class SequentialProtocol(DsmProtocol):
         space.write_backing(offset, raw)
         return True
 
+    def fast_gather(self, proc, space, segs, total: int) -> np.ndarray:
+        out = np.empty(total, np.uint8)
+        pos = 0
+        for offset, nbytes in segs:
+            out[pos : pos + nbytes] = space.read_backing(offset, nbytes)
+            pos += nbytes
+        return out
+
+    def fast_scatter(self, proc, space, segs, raw) -> bool:
+        pos = 0
+        for offset, nbytes in segs:
+            space.write_backing(offset, raw[pos : pos + nbytes])
+            pos += nbytes
+        return True
+
     def page_data(self, proc, page: int) -> np.ndarray:
         return self.space.backing_page(page)
 

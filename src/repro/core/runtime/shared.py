@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import operator
 from functools import reduce
-from typing import Generator, Sequence, Tuple, Union
+from typing import Generator, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -27,6 +27,100 @@ from repro.core import fastpath
 from repro.memory.address_space import SharedRegion
 
 Index = Union[int, Tuple[int, ...]]
+
+
+class Region:
+    """A bulk access shape over one :class:`SharedArray`.
+
+    A region is an ordered list of disjoint element segments plus the
+    shape of the gathered result — rows, a row-block with a column
+    slice, a flat slice, or an arbitrary gather of rows.  Build one
+    with :meth:`SharedArray.region_rows` / :meth:`~SharedArray.region_block`
+    / :meth:`~SharedArray.region_slice` / :meth:`~SharedArray.region_row_gather`,
+    then move bytes with :meth:`~SharedArray.read_region` /
+    :meth:`~SharedArray.write_region` / :meth:`~SharedArray.region_view`.
+
+    Segment order is access order: the fault path replays segments
+    front to back, so a region built from the rows an app used to loop
+    over takes exactly the per-page fault/charge sequence the loop
+    took.  Byte segments are precomputed at construction; regions whose
+    shape does not depend on loop state can be built once and reused.
+    """
+
+    __slots__ = (
+        "array", "segs", "total", "nbytes", "shape", "_spans", "_pages"
+    )
+
+    def __init__(self, array: "SharedArray", elem_segs, shape):
+        self.array = array
+        item = array._item
+        base = array._base
+        size = array.size
+        segs = []
+        total = 0
+        for start_elem, count in elem_segs:
+            if start_elem < 0 or count < 0 or start_elem + count > size:
+                raise IndexError(
+                    f"element range [{start_elem}, {start_elem + count}) "
+                    f"outside array of {size}"
+                )
+            segs.append((base + start_elem * item, count * item))
+            total += count
+        self.segs = segs
+        self.total = total
+        self.nbytes = total * item
+        self.shape = tuple(shape)
+        if reduce(operator.mul, self.shape, 1) != total:
+            raise ValueError(
+                f"region shape {self.shape} does not hold {total} elements"
+            )
+        self._spans = None
+        self._pages = None
+
+    @classmethod
+    def _trusted(cls, array, segs, total, shape):
+        """Construct from pre-validated **byte** segments.
+
+        The hot-path constructor behind :meth:`SharedArray.region_row_gather`:
+        bounds are checked once by the caller (min/max over the whole
+        row list), skipping the per-segment validation loop.
+        """
+        self = object.__new__(cls)
+        self.array = array
+        self.segs = segs
+        self.total = total
+        self.nbytes = total * array._item
+        self.shape = shape
+        self._spans = None
+        self._pages = None
+        return self
+
+    def page_spans(self):
+        """All ``(page, start, length)`` spans, segments in order.
+
+        Pure geometry — computed once and cached, so a region reused
+        across iterations (or written right after being read) pays for
+        the page arithmetic only once.  Segment boundaries are
+        preserved: two adjacent segments on one page stay two spans, so
+        per-span protocol charges (Cashmere's doubled write) replay
+        exactly as the equivalent per-call loop.
+        """
+        if self._spans is None:
+            space = self.array._space
+            spans = []
+            for offset, nbytes in self.segs:
+                spans.extend(space.page_spans_list(offset, nbytes))
+            self._spans = spans
+        return self._spans
+
+    def span_pages(self) -> np.ndarray:
+        """Page index of every span, as one array — the region hit
+        path's single fancy-indexed bitmap probe."""
+        if self._pages is None:
+            self._pages = np.fromiter(
+                (s[0] for s in self.page_spans()), np.intp
+            )
+        return self._pages
 
 
 class SharedArray:
@@ -288,6 +382,31 @@ class SharedArray:
             return None
         return data.view(self.dtype).reshape((row1 - row0,) + self._tail)
 
+    def rows_hot(self, env, row0: int, row1: int) -> bool:
+        """Event-free probe: True when every page holding rows
+        ``[row0, row1)`` is already mapped readable at this processor.
+
+        False means "unknown", not "cold" — without the fast path (or a
+        protocol that keeps permission bitmaps) there is nothing cheap
+        to consult, so callers must treat False as "take the safe
+        path".  The probe itself never touches protocol state.
+        """
+        if not fastpath.ENABLED:
+            return False
+        perms = env.protocol.perms
+        if perms is None:
+            return False
+        stride = self._stride
+        start = row0 * stride
+        count = (row1 - row0) * stride
+        if count <= 0:
+            return True
+        item = self._item
+        lo, hi = self._space.span_bounds(
+            self._base + start * item, count * item
+        )
+        return perms.read_ready(env.proc.pid, lo, hi)
+
     def read_rows(self, env, row0: int, row1: int) -> Generator:
         """Read rows ``[row0, row1)`` of the leading dimension."""
         start, stride = self.row_elems(row0)
@@ -314,3 +433,202 @@ class SharedArray:
         if flat is None:
             flat = yield from self.read_range(env, 0, self.size)
         return flat.reshape(self.shape)
+
+    # -- bulk region access --------------------------------------------------
+    #
+    # Regions batch what the apps used to do one row (or one element) at
+    # a time: one permission probe and one gather/scatter for the whole
+    # shape when everything is hot, and the *exact* per-segment
+    # fault/charge replay when anything is cold.  ``read_region`` /
+    # ``write_region`` are bit-identical to the equivalent per-row loop
+    # under every protocol, both queue modes, and fastpath on/off —
+    # hot reads are event-free everywhere, hot writes are event-free
+    # only under ``free_writes`` (the scatter is gated on it), and cold
+    # segments run ``ensure_read_span`` / ``ensure_write_span`` in
+    # segment order, preserving Cashmere's per-page doubled-write
+    # charging and fault interleaving.
+
+    def region_slice(self, start_elem: int, count: int) -> Region:
+        """Region over ``count`` flat elements from ``start_elem``."""
+        return Region(self, ((start_elem, count),), (count,))
+
+    def region_rows(self, row0: int, row1: int) -> Region:
+        """Region over leading-dimension rows ``[row0, row1)``
+        (contiguous: a single segment)."""
+        if not 0 <= row0 <= row1 <= self.shape[0]:
+            raise IndexError(f"rows [{row0}, {row1}) out of range")
+        stride = self._stride
+        return Region(
+            self,
+            ((row0 * stride, (row1 - row0) * stride),),
+            (row1 - row0,) + self._tail,
+        )
+
+    def region_block(
+        self, row0: int, row1: int, col0: int, col1: int
+    ) -> Region:
+        """Region over the 2-D block ``[row0:row1, col0:col1]`` — one
+        segment per row (non-contiguous columns)."""
+        if len(self.shape) != 2:
+            raise IndexError(f"block region needs a 2-D array, not {self.shape}")
+        d0, d1 = self.shape
+        if not (0 <= row0 <= row1 <= d0 and 0 <= col0 <= col1 <= d1):
+            raise IndexError(
+                f"block [{row0}:{row1}, {col0}:{col1}] out of bounds {self.shape}"
+            )
+        width = col1 - col0
+        return Region(
+            self,
+            [(r * d1 + col0, width) for r in range(row0, row1)],
+            (row1 - row0, width),
+        )
+
+    def region_row_gather(
+        self, rows: Sequence[int], col0: int = 0, col1: Optional[int] = None
+    ) -> Region:
+        """Region over an arbitrary (ordered) list of rows, optionally
+        restricted to columns ``[col0, col1)`` — e.g. one processor's
+        cyclically-assigned rows.  Segment order follows ``rows``."""
+        stride = self._stride
+        if col1 is None:
+            col1 = stride
+        if not 0 <= col0 <= col1 <= stride:
+            raise IndexError(f"columns [{col0}, {col1}) outside row of {stride}")
+        width = col1 - col0
+        if rows and not 0 <= min(rows) <= max(rows) < self.shape[0]:
+            raise IndexError(f"row list {min(rows)}..{max(rows)} out of range")
+        item = self._item
+        base = self._base
+        row0 = base + col0 * item
+        wbytes = width * item
+        sbytes = stride * item
+        return Region._trusted(
+            self,
+            [(row0 + r * sbytes, wbytes) for r in rows],
+            len(rows) * width,
+            (len(rows), width),
+        )
+
+    def region_view(self, env, region: Region):
+        """Hit-path read of a region: the data if every spanned page is
+        hot, else ``None`` — a plain function, no generator frame, no
+        events.  Callers pair it with :meth:`read_region` as the cold
+        fallback.
+
+        A single-segment region inside one page returns a **read-only
+        zero-copy view** of the local page copy; anything larger is
+        gathered into a fresh buffer.  A view is only valid until the
+        caller's next ``yield`` — a served remote request or write-through
+        may mutate the page copy it aliases — so consume it immediately
+        or take a copy.
+        """
+        if not fastpath.ENABLED:
+            return None
+        protocol = env.protocol
+        perms = protocol.perms
+        segs = region.segs
+        if perms is not None and len(segs) == 1:
+            offset, nbytes = segs[0]
+            space = self._space
+            ps = space.page_size
+            lo = offset // ps
+            start = offset - lo * ps
+            if start + nbytes <= ps:  # one page: alias the local copy
+                if not perms.read_ready(env.proc.pid, lo, lo + 1):
+                    return None
+                view = protocol.page_data(env.proc, lo)[
+                    start : start + nbytes
+                ].view(self.dtype).reshape(region.shape)
+                view.flags.writeable = False
+                return view
+        data = protocol.region_gather(env.proc, self._space, region)
+        if data is None:
+            return None
+        return data.view(self.dtype).reshape(region.shape)
+
+    def read_region(self, env, region: Region) -> Generator:
+        """Read a region, faulting cold pages in segment order.
+
+        Hot segments gather without events; each cold segment runs the
+        protocol's ``ensure_read_span`` (fault order per page, hot pages
+        skipped) exactly as the equivalent per-row loop would.
+        """
+        protocol = env.protocol
+        space = self._space
+        total_bytes = region.nbytes
+        if fastpath.ENABLED:
+            data = protocol.region_gather(env.proc, space, region)
+            if data is None:
+                out = np.empty(total_bytes, np.uint8)
+                pos = 0
+                for offset, nbytes in region.segs:
+                    data = protocol.fast_read(env.proc, space, offset, nbytes)
+                    if data is None:
+                        lo, hi = space.span_bounds(offset, nbytes)
+                        yield from protocol.ensure_read_span(env.proc, lo, hi)
+                        data = protocol.fast_read(env.proc, space, offset, nbytes)
+                    if data is None:
+                        # No bitmaps on this protocol: per-page gather.
+                        for page, start, length in space.page_spans(
+                            offset, nbytes
+                        ):
+                            page_bytes = protocol.page_data(env.proc, page)
+                            out[pos : pos + length] = page_bytes[
+                                start : start + length
+                            ]
+                            pos += length
+                        continue
+                    out[pos : pos + nbytes] = data
+                    pos += nbytes
+                data = out
+            return data.view(self.dtype).reshape(region.shape)
+        out = np.empty(total_bytes, np.uint8)
+        pos = 0
+        for offset, nbytes in region.segs:
+            for page, start, length in space.page_spans(offset, nbytes):
+                yield from protocol.ensure_read(env.proc, page)
+                data = protocol.page_data(env.proc, page)
+                out[pos : pos + length] = data[start : start + length]
+                pos += length
+        return out.view(self.dtype).reshape(region.shape)
+
+    def write_region(self, env, region: Region, values):
+        """Write ``values`` (region-shaped) across a region.
+
+        A dispatcher like :meth:`write_range`: all pages hot under a
+        ``free_writes`` protocol scatters with zero events and zero
+        generator frames; otherwise each segment replays the protocol's
+        ``ensure_write_span`` — per-page fault-then-apply order, and
+        Cashmere's doubled-write charge per page, exactly as the
+        per-row loop."""
+        raw = self._raw_bytes(values)
+        if raw.nbytes != region.nbytes:
+            raise ValueError(
+                f"value bytes {raw.nbytes} do not match region "
+                f"({region.shape})"
+            )
+        protocol = env.protocol
+        space = self._space
+        if fastpath.ENABLED:
+            if protocol.region_scatter(env.proc, space, region, raw):
+                return ()  # every page hot and writes are free: done
+            # One batched ensure_write_span over the whole region: the
+            # flattened span list keeps segments in order and ``raw`` is
+            # consumed sequentially, so fault/apply interleaving (and
+            # Cashmere's per-span doubled-write charge) replays exactly
+            # as the per-segment loop — minus one generator frame per
+            # segment.
+            return protocol.ensure_write_span(
+                env.proc, region.page_spans(), raw
+            )
+        return self._write_region_slow(env, region, raw)
+
+    def _write_region_slow(self, env, region: Region, raw) -> Generator:
+        """Legacy per-page fault loop (fastpath disabled)."""
+        space = self._space
+        pos = 0
+        for offset, nbytes in region.segs:
+            yield from self._write_range_slow(
+                env, space, offset, nbytes, raw[pos : pos + nbytes]
+            )
+            pos += nbytes

@@ -116,6 +116,13 @@ class TreadMarksProtocol(LrcProtocolBase):
     # scatter path.
     free_writes = True
 
+    # Recycled twin buffers (wall-clock only): twinning is the hottest
+    # allocation site under write-heavy apps, and a retired twin is
+    # always a full page, so buffers are interchangeable.  The pool is
+    # created lazily per instance; the class attribute is only the
+    # "never released yet" sentinel.
+    _twin_pool = None
+
     @property
     def gc_record_threshold(self) -> int:
         return GC_RECORD_THRESHOLD
@@ -156,7 +163,13 @@ class TreadMarksProtocol(LrcProtocolBase):
         if not page.perm.allows_read():
             yield from self._validate_page(proc, page_idx, page)
         if page.twin is None:
-            page.twin = page.copy.copy()
+            pool = self._twin_pool
+            if pool:
+                twin = pool.pop()
+                np.copyto(twin, page.copy)
+                page.twin = twin
+            else:
+                page.twin = page.copy.copy()
             proc.bump("twins_created")
             self.trace(proc, "twin", page=page_idx)
             yield from proc.busy(
@@ -356,6 +369,10 @@ class TreadMarksProtocol(LrcProtocolBase):
                 writer_diffs.cache.append(
                     (writer_diffs.seq, page.lamport, diff)
                 )
+                pool = self._twin_pool
+                if pool is None:
+                    pool = self._twin_pool = []
+                pool.append(page.twin)
                 page.twin = None
                 proc.bump("diffs_created")
                 self.trace(

@@ -123,6 +123,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help=(
+            "run the per-element scalar reference loops instead of the "
+            "vectorized app kernels (bit-identical results, replaces "
+            "$REPRO_DSM_NO_KERNELS)"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         metavar="FILE",
         default=None,
@@ -145,6 +154,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         no_fastpath=args.no_fastpath,
         debug_checks=args.debug_checks,
         no_calqueue=args.no_calqueue,
+        no_kernels=args.no_kernels,
     ).apply()
     return ExperimentContext(
         scale=args.scale,

@@ -89,20 +89,57 @@ def execute_point(spec: PointSpec):
     return run_program(module.program(), spec.run_config(), spec.params)
 
 
+def execute_point_timed(spec: PointSpec):
+    """Run one point and return ``(result, seconds)``.
+
+    The clock wraps only the simulation itself — app-module import and
+    option application are excluded — so pool workers report the same
+    quantity a serial caller would measure around :func:`execute_point`.
+    """
+    import time
+
+    from repro.apps import registry
+    from repro.core import run_program, run_sequential
+
+    if spec.options is not None:
+        spec.options.apply()
+    module = registry.load(spec.app)
+    started = time.perf_counter()
+    if spec.is_sequential:
+        result = run_sequential(
+            module.program(),
+            spec.params,
+            page_size=spec.cluster.page_size,
+            costs=spec.costs,
+        )
+    else:
+        result = run_program(
+            module.program(), spec.run_config(), spec.params
+        )
+    return result, time.perf_counter() - started
+
+
 def run_points(
     specs: Sequence[PointSpec],
     jobs: int = 1,
     max_workers: Optional[int] = None,
+    timed: bool = False,
 ) -> List:
     """Execute every spec; results return in submission order.
 
     ``jobs <= 1`` (or a single spec) runs in-process — no pool, no
     pickling.  Otherwise a process pool of ``min(jobs, len(specs))``
     workers fans the points out; ``Executor.map`` preserves order.
+
+    With ``timed=True`` each entry is ``(result, seconds)`` from
+    :func:`execute_point_timed`; note that concurrent workers share
+    cores, so pooled timings carry scheduling noise that serial
+    (``jobs=1``) timings do not.
     """
     specs = list(specs)
+    runner = execute_point_timed if timed else execute_point
     if jobs <= 1 or len(specs) <= 1:
-        return [execute_point(spec) for spec in specs]
+        return [runner(spec) for spec in specs]
     workers = max_workers or min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(execute_point, specs))
+        return list(pool.map(runner, specs))

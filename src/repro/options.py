@@ -28,6 +28,7 @@ _ENV_ALIASES = {
     "REPRO_DSM_NO_FASTPATH": ("fastpath", False, "--no-fastpath"),
     "REPRO_DSM_DEBUG": ("debug_checks", True, "--debug-checks"),
     "REPRO_DSM_NO_CALQUEUE": ("calqueue", False, "--no-calqueue"),
+    "REPRO_DSM_NO_KERNELS": ("kernels", False, "--no-kernels"),
 }
 
 _warned_vars = set()
@@ -60,13 +61,18 @@ class SimOptions:
         Re-verify bitmap/permission coherence at every barrier.
     ``calqueue``
         Bucketed calendar queue + event pooling in the simulation
-        engine (this PR).  Off restores the plain binary-heap
+        engine (PR 4).  Off restores the plain binary-heap
         scheduler with per-event allocation — the A/B escape hatch.
+    ``kernels``
+        Vectorized application kernels over the bulk region API
+        (PR 5).  Off restores the per-element scalar reference loops
+        in every app — the A/B escape hatch for the kernel layer.
     """
 
     fastpath: bool = True
     debug_checks: bool = False
     calqueue: bool = True
+    kernels: bool = True
 
     @classmethod
     def from_env(cls, warn: bool = True) -> "SimOptions":
@@ -85,6 +91,7 @@ class SimOptions:
         no_fastpath: bool = False,
         debug_checks: bool = False,
         no_calqueue: bool = False,
+        no_kernels: bool = False,
     ) -> "SimOptions":
         """Build options from CLI flag values, layered over the
         environment aliases (explicit flags win)."""
@@ -95,6 +102,8 @@ class SimOptions:
             options = replace(options, debug_checks=True)
         if no_calqueue:
             options = replace(options, calqueue=False)
+        if no_kernels:
+            options = replace(options, kernels=False)
         return options
 
     def apply(self) -> "SimOptions":
@@ -111,6 +120,9 @@ class SimOptions:
 
         fastpath.ENABLED = self.fastpath
         fastpath.DEBUG = self.debug_checks
+        from repro.apps import kernels
+
+        kernels.ENABLED = self.kernels
         return self
 
 

@@ -219,3 +219,176 @@ def test_ilink_sparse_slots_sorted_unique():
         assert len(set(row.tolist())) == len(row)
         assert np.all(np.diff(row) > 0)
         assert row.max() < 512
+
+
+# --- kernel-vs-scalar bitwise equality -------------------------------------
+#
+# The kernel layer's contract is *bit* identity with the scalar
+# reference loops retained in the app modules: kernel output is written
+# back into DSM shared memory, where TreadMarks diffs it byte-by-byte
+# against twins, so these pin exact equality (never ``allclose``).
+
+from repro.apps import kernels
+
+
+def test_kernel_lu_factor_diag_bitwise():
+    rng = deterministic_rng(20)
+    a = rng.random((16, 16)) + np.eye(16) * 16
+    assert np.array_equal(kernels.lu_factor_diag(a), lu._factor_diag(a))
+
+
+def test_kernel_lu_solves_bitwise():
+    rng = deterministic_rng(21)
+    diag = lu._factor_diag(rng.random((8, 8)) + np.eye(8) * 8)
+    a = rng.random((8, 8))
+    assert np.array_equal(kernels.lu_solve_col(a, diag), lu._solve_col(a, diag))
+    assert np.array_equal(kernels.lu_solve_row(a, diag), lu._solve_row(a, diag))
+
+
+def test_kernel_lu_solves_accept_readonly_views():
+    rng = deterministic_rng(22)
+    diag = lu._factor_diag(rng.random((8, 8)) + np.eye(8) * 8)
+    a = rng.random((8, 8))
+    a.flags.writeable = False
+    assert np.array_equal(kernels.lu_factor_diag(a), lu._factor_diag(a))
+    assert np.array_equal(kernels.lu_solve_col(a, diag), lu._solve_col(a, diag))
+
+
+def test_kernel_lu_interior_update_bitwise():
+    rng = deterministic_rng(23)
+    mine = rng.random((8, 8))
+    col, row = rng.random((8, 8)), rng.random((8, 8))
+    assert np.array_equal(
+        kernels.lu_interior_update(mine, col, row), lu._interior_update(mine, col, row)
+    )
+
+
+def test_kernel_gauss_eliminate_bitwise():
+    rng = deterministic_rng(24)
+    n = 24
+    matrix = rng.random((n, n + 2)) + np.hstack(
+        [np.eye(n) * n, np.zeros((n, 2))]
+    )
+    for k in (0, 5, n - 2):
+        pivot = matrix[k]
+        rows = [r for r in range(n) if r > k][:7]
+        block = matrix[rows][:, k : n + 1]
+        batched = kernels.gauss_eliminate(block, pivot, k, n)
+        for i, r in enumerate(rows):
+            current = matrix[r]
+            factor = current[k] / pivot[k]
+            updated = current[k : n + 1] - factor * pivot[k : n + 1]
+            updated[0] = 0.0
+            assert np.array_equal(batched[i], updated)
+
+
+def test_kernel_gauss_back_substitute_bitwise():
+    rng = deterministic_rng(25)
+    n = 12
+    aug = np.zeros((n, n + 1))
+    aug[:, :n] = np.triu(rng.random((n, n)) + np.eye(n) * n)
+    aug[:, n] = rng.random(n)
+    assert np.array_equal(
+        kernels.gauss_back_substitute(aug), gauss._back_substitute(aug)
+    )
+
+
+def test_kernel_sor_phase_update_bitwise():
+    rng = deterministic_rng(26)
+    halo = rng.random((9, 32))
+    assert np.array_equal(kernels.sor_phase_update(halo), sor._phase_update(halo))
+
+
+def test_kernel_water_pair_forces_bitwise():
+    rng = deterministic_rng(27)
+    pos = rng.random((20, 3)) * 3.0
+    for rank in range(4):
+        lo, hi = band(rank, 4, 20)
+        assert np.array_equal(
+            kernels.water_pair_forces(pos[lo:hi], lo, pos),
+            water._pair_forces(pos[lo:hi], lo, pos),
+        )
+
+
+def test_kernel_water_integrate_bitwise():
+    rng = deterministic_rng(28)
+    pos, vel, force = rng.random((3, 10, 3))
+    new_vel, new_pos = kernels.water_integrate(pos, vel, force, water.DT)
+    ref_vel = vel + force * water.DT
+    ref_pos = pos + ref_vel * water.DT
+    assert np.array_equal(new_vel, ref_vel)
+    assert np.array_equal(new_pos, ref_pos)
+
+
+def test_kernel_barnes_integrate_bitwise():
+    rng = deterministic_rng(29)
+    bodies = rng.random((30, barnes.BODY_FIELDS))
+    mine = barnes._my_chunks(1, 3, 30)
+    pos_block, vel_block = kernels.barnes_integrate(bodies, mine, barnes.DT)
+    for i, body in enumerate(mine):
+        vel = bodies[body, 3:6] + bodies[body, 6:9] * barnes.DT
+        pos = bodies[body, 0:3] + vel * barnes.DT
+        assert np.array_equal(vel_block[i], vel)
+        assert np.array_equal(pos_block[i], pos)
+
+
+def test_kernel_em3d_gather_update_bitwise():
+    params = dict(n_nodes=256, degree=4, seed=11)
+    deps = em3d._dependencies(params)
+    rng = deterministic_rng(30)
+    n = 256
+    values = rng.random(n)
+    lo, hi = band(1, 4, n)
+    rlo, rhi = max(lo - em3d.WINDOW, 0), min(hi + em3d.WINDOW, n)
+    my_targets = deps["targets"][lo:hi]
+    my_weights = deps["weights"][lo:hi]
+    inside = (my_targets >= rlo) & (my_targets < rhi)
+    window, full = values[rlo:rhi], values
+    gathered = kernels.em3d_gather(window, full, my_targets, inside, rlo, rhi)
+    ref = np.where(
+        inside, window[np.clip(my_targets - rlo, 0, rhi - rlo - 1)], 0.0
+    )
+    ref = np.where(inside, ref, full[my_targets])
+    assert np.array_equal(gathered, ref)
+    current = rng.random(hi - lo)
+    assert np.array_equal(
+        kernels.em3d_update(current, my_weights, gathered),
+        current - (my_weights * gathered).sum(axis=1),
+    )
+
+
+def test_kernel_ilink_update_reduce_bitwise():
+    rng = deterministic_rng(31)
+    values = rng.random(40)
+    for it in (0, 3):
+        assert np.array_equal(
+            kernels.ilink_update(values, it),
+            0.25 * values + 0.5 * values * values + 0.01 * (it + 1),
+        )
+    pool_rows = [rng.random(64) for _ in range(5)]
+    reduced = kernels.ilink_reduce(pool_rows)
+    assert np.array_equal(reduced, np.array([row.sum() for row in pool_rows]))
+
+
+def test_kernel_tsp_matches_scalar():
+    d = tsp.distances(dict(cities=8, seed=5))
+    assert kernels.tsp_lower_bound(d, [0, 3], d[0][3]) == tsp._lower_bound(
+        d, [0, 3], d[0][3]
+    )
+    got = kernels.tsp_dfs_solve(d, [0], 0.0, np.inf)
+    ref = tsp._dfs_solve(d, [0], 0.0, np.inf)
+    assert got == ref  # (best, path, nodes) — including the node count
+
+
+def test_sim_options_sync_kernels_flag():
+    from dataclasses import replace
+    from repro import options as options_mod
+
+    saved = options_mod.current()
+    try:
+        replace(saved, kernels=False).apply()
+        assert kernels.ENABLED is False
+        replace(saved, kernels=True).apply()
+        assert kernels.ENABLED is True
+    finally:
+        saved.apply()

@@ -26,6 +26,7 @@ import pytest
 
 from repro import api
 from repro import options as options_mod
+from repro.apps import kernels
 from repro.core import fastpath
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_engine.json"
@@ -62,12 +63,23 @@ def fastpath_mode(request, queue_mode):
     fastpath.set_enabled(saved)
 
 
+@pytest.fixture(params=[True, False], ids=["kernels", "scalar"])
+def kernels_mode(request, fastpath_mode):
+    # The goldens predate the vectorized kernel layer too: every case
+    # must reproduce them with the app kernels on or off, in every
+    # queue/fastpath combination.
+    saved = kernels.ENABLED
+    kernels.set_enabled(request.param)
+    yield request.param
+    kernels.set_enabled(saved)
+
+
 @pytest.mark.parametrize(
     "golden",
     GOLDENS,
     ids=[f"{g['app']}-{g['variant']}-{g['nprocs']}p" for g in GOLDENS],
 )
-def test_run_matches_golden(golden, fastpath_mode):
+def test_run_matches_golden(golden, kernels_mode):
     result = _run(golden)
     assert result.exec_time == golden["exec_time"]
     assert result.network_bytes == golden["network_bytes"]
