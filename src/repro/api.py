@@ -14,15 +14,19 @@ driver and protocol internals:
     protocol) with no application attached, for tests and
     microbenchmarks that drive the protocol directly.
 ``run_experiment(driver, ...)``
-    One paper artifact — ``table1/2/3``, ``figure5/6``, or ``sweep`` —
-    returning the common :class:`~repro.harness.results.DriverResult`
-    envelope (typed rows + counters + breakdown + provenance + rendered
-    text).
+    One paper artifact — ``table1/2/3``, ``figure5/6``, ``sweep``, or
+    the cross-era ``cross_era`` study — returning the common
+    :class:`~repro.harness.results.DriverResult` envelope (typed rows +
+    counters + breakdown + provenance + rendered text).
 
 Wall-clock toggles travel as a :class:`~repro.options.SimOptions`
 (CLI: ``--no-fastpath``, ``--debug-checks``, ``--no-calqueue``); every
-combination is simulated-result bit-identical.  The full reference with
-a migration table from the old entry points lives in ``docs/API.md``.
+combination is simulated-result bit-identical.  The exception is
+``SimOptions.network`` (CLI: ``--network {memch,rdma,ethernet}``),
+which selects the simulated interconnect backend and *changes
+simulated results* — see ``docs/NETWORKS.md``.  The full reference
+with a migration table from the old entry points lives in
+``docs/API.md``.
 """
 
 from __future__ import annotations
@@ -47,7 +51,15 @@ from repro.harness.results import DriverResult
 from repro.options import SimOptions
 
 #: Drivers ``run_experiment`` accepts, in the CLI's order.
-EXPERIMENTS = ("table1", "table2", "table3", "figure5", "figure6", "sweep")
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "figure5",
+    "figure6",
+    "sweep",
+    "cross_era",
+)
 
 VariantLike = Union[str, Variant, None]
 
@@ -90,6 +102,11 @@ def run_point(
     """
     resolved = _as_variant(variant)
     module = registry.load(app)
+    if options is not None:
+        # The network backend is simulated semantics, not a wall-clock
+        # toggle: copy it into the RunConfig overrides (explicit
+        # ``network=`` keyword wins).
+        overrides.setdefault("network", options.network)
     spec = PointSpec(
         app=app,
         variant_name=SEQUENTIAL if resolved is None else resolved.name,

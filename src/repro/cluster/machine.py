@@ -245,7 +245,12 @@ class Processor:
 
 
 class Node:
-    """An SMP node: up to four CPUs plus one Memory Channel adapter."""
+    """An SMP node: up to four CPUs plus one network adapter.
+
+    The node is interconnect-agnostic — the adapter's timing lives in
+    the :class:`~repro.cluster.network.NetworkModel` backend (Memory
+    Channel by default; see docs/NETWORKS.md).
+    """
 
     def __init__(self, nid: int):
         self.nid = nid

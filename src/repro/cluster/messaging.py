@@ -25,7 +25,7 @@ from typing import Any, Generator
 
 from repro.config import CostModel, Transport
 from repro.cluster.machine import Cluster, Processor
-from repro.cluster.network import MemoryChannel
+from repro.cluster.network import NetworkModel
 from repro.sim import Engine, Event
 from repro.stats import Category
 
@@ -97,7 +97,7 @@ class Messenger:
         self,
         engine: Engine,
         cluster: Cluster,
-        network: MemoryChannel,
+        network: NetworkModel,
         costs: CostModel,
         transport: Transport,
     ):
@@ -107,14 +107,12 @@ class Messenger:
         self.costs = costs
         self.transport = transport
         self._seq = itertools.count(1)
-        # Per-message constants, resolved once (the transport never
-        # changes after construction).
-        if transport is Transport.UDP:
-            self._cpu_per_msg = costs.msg_cpu_udp
-            self._recv_cpu = costs.msg_cpu_udp
-        else:
-            self._cpu_per_msg = costs.msg_cpu_mc
-            self._recv_cpu = 0.0
+        # Per-message constants, resolved once (the transport and the
+        # network backend never change after construction).  The backend
+        # decides what a message costs in CPU terms — a kernel crossing
+        # on Ethernet, a verbs doorbell on RDMA, a user-level buffer
+        # copy on the Memory Channel (plus a kernel crossing under UDP).
+        self._cpu_per_msg, self._recv_cpu = network.msg_cpus(transport)
 
     # -- cost helpers ------------------------------------------------------
 
@@ -122,7 +120,7 @@ class Messenger:
         """Absolute sim time at which ``nbytes`` land at ``dst``."""
         if src.node is dst.node:
             return self.engine.now + LOCAL_MSG_LATENCY
-        return self.network.write(src.node.nid, nbytes)
+        return self.network.write(src.node.nid, nbytes, dst_node=dst.node.nid)
 
     # -- request / reply ------------------------------------------------------
 

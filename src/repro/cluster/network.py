@@ -1,26 +1,48 @@
-"""Model of DEC's Memory Channel network.
+"""Interconnect timing models behind the :class:`NetworkModel` interface.
 
-The protocol-relevant properties (Section 3.1 of the paper):
+The paper's entire argument rests on the constants of one device — DEC's
+Memory Channel (~5 us user-level remote *writes*, no remote reads,
+~30 MB/s links).  To let the reproduction ask whether its conclusions
+survive on other networks, the timing model is an interface with three
+backends (``RunConfig.network`` / ``--network`` select one):
 
-* user-level remote *writes* only — no remote reads;
-* ~5.2 us process-to-process write latency;
-* per-link bandwidth limited by the 32-bit PCI bus (~30 MB/s) and
-  aggregate bandwidth limited by the early device driver (~32 MB/s);
-* writes are totally ordered and may be broadcast to every node;
-* optional loop-back of a node's own writes (used only for locks).
+``memch``
+    The paper's first-generation Memory Channel (Section 3.1):
+    user-level remote writes only, totally ordered, broadcast-capable,
+    link bandwidth limited by the 32-bit PCI bus and aggregate bandwidth
+    by the early device driver.  The default, and bit-identical to the
+    pre-interface model.
 
-Transfers are modelled with busy-until occupancy times per transmit link
-plus a shared hub pipe, which reproduces the paper's observation that the
-"relatively modest cross-sectional bandwidth ... limits the performance
-of write-through".
+``rdma``
+    A modern RDMA/InfiniBand-class fabric (constants per the
+    "User-level DSM System for Modern High-Performance Interconnection
+    Networks" direction in PAPERS.md): user-level one-sided remote
+    *reads and writes* at ~1-2 us, ~50 Gbit/s per link, a non-blocking
+    switch, and per-queue-pair occupancy accounting.
+
+``ethernet``
+    Commodity switched Ethernet under kernel TCP/IP at the other
+    extreme: tens-of-microseconds one-way latency, ~100 Mbit/s links,
+    and a kernel crossing (CPU cost) on each end of every message.
+
+All ``write``/``read`` methods return the simulated time at which the
+data is visible at the destination; they also advance the internal
+busy-until bookkeeping.  The caller charges CPU time separately — the
+network model accounts only for the wire (per-message CPU constants are
+*exposed* here via :meth:`NetworkModel.msg_cpus` but charged by the
+messaging layer).
+
+Backend constants are catalogued by :meth:`NetworkModel.describe`;
+``docs/NETWORKS.md`` documents every backend and
+``tests/test_network_docs.py`` keeps the two in sync.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from repro.config import ClusterConfig, CostModel
+from repro.config import ClusterConfig, CostModel, NETWORK_BACKENDS, Transport
 
 
 @dataclass
@@ -31,35 +53,126 @@ class LinkUsage:
     transfers: int = 0
 
 
-class MemoryChannel:
-    """Occupancy-based Memory Channel timing model.
+class NetworkModel:
+    """Occupancy-based interconnect timing model (abstract base).
 
-    All methods return the simulated time at which the written data is
-    visible in the destination receive region(s); they also advance the
-    internal busy-until bookkeeping.  The caller charges CPU time
-    separately — the network model only accounts for the wire.
+    The contract every backend implements:
+
+    * :meth:`write` — schedule ``nbytes`` from ``src_node``; return the
+      absolute sim time the data is visible at the destination(s).
+      ``dst_node`` (when the caller knows it) lets point-to-point
+      fabrics account per-destination occupancy; broadcast-capable
+      fabrics may ignore it.
+    * :meth:`read` — one-sided remote read: ``src_node`` pulls
+      ``nbytes`` out of ``from_node``'s memory with **no remote CPU
+      involvement**.  Only backends with ``remote_reads = True``
+      implement it; others raise ``RuntimeError``.
+    * :meth:`flush_time` — sim time at which every write issued so far
+      from ``src_node`` has drained (release write-through waits).
+    * :meth:`msg_cpus` — the per-message ``(send_cpu, recv_cpu)``
+      microseconds the request/reply messaging layer must charge on
+      this fabric for the given transport.
+    * Usage accounting — ``usage[src]`` per-link byte/transfer
+      counters and ``aggregate_bytes``, identical across backends
+      (occupancy conservation is property-tested over all backends).
     """
+
+    #: registry key (``--network`` value); set by each backend
+    name: str = ""
+    #: True when the fabric supports user-level one-sided remote reads
+    remote_reads: bool = False
 
     def __init__(self, engine, cluster: ClusterConfig, costs: CostModel):
         self.engine = engine
         self.cluster = cluster
         self.costs = costs
         self._link_busy: List[float] = [0.0] * cluster.n_nodes
-        self._hub_busy: float = 0.0
         self.usage: List[LinkUsage] = [
             LinkUsage() for _ in range(cluster.n_nodes)
         ]
         self.total_bytes = 0
 
-    # -- timing ---------------------------------------------------------
+    # -- accounting (shared) --------------------------------------------
 
-    def write(self, src_node: int, nbytes: int, broadcast: bool = False) -> float:
+    def _account(self, src_node: int, nbytes: int) -> None:
+        self.usage[src_node].bytes_sent += nbytes
+        self.usage[src_node].transfers += 1
+        self.total_bytes += nbytes
+
+    @property
+    def aggregate_bytes(self) -> int:
+        return self.total_bytes
+
+    # -- timing contract -------------------------------------------------
+
+    def write(
+        self,
+        src_node: int,
+        nbytes: int,
+        broadcast: bool = False,
+        dst_node: int = -1,
+    ) -> float:
+        raise NotImplementedError
+
+    def read(self, src_node: int, from_node: int, nbytes: int) -> float:
+        """One-sided remote read; unsupported on this fabric by default."""
+        raise RuntimeError(
+            f"network backend {self.name!r} has no remote reads"
+        )
+
+    def flush_time(self, src_node: int) -> float:
+        raise NotImplementedError
+
+    def msg_cpus(self, transport: Transport) -> Tuple[float, float]:
+        """Per-message ``(send_cpu_us, recv_cpu_us)`` for ``transport``."""
+        raise NotImplementedError
+
+    # -- documentation catalog -------------------------------------------
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        """Constant name -> value strings for ``docs/NETWORKS.md``."""
+        raise NotImplementedError
+
+
+class MemoryChannel(NetworkModel):
+    """The paper's first-generation Memory Channel (Section 3.1).
+
+    * user-level remote *writes* only — no remote reads;
+    * ~5.2 us process-to-process write latency;
+    * per-link bandwidth limited by the 32-bit PCI bus (~30 MB/s) and
+      aggregate bandwidth limited by the early device driver (~32 MB/s);
+    * writes are totally ordered and may be broadcast to every node;
+    * optional loop-back of a node's own writes (used only for locks).
+
+    Transfers are modelled with busy-until occupancy times per transmit
+    link plus a shared hub pipe, which reproduces the paper's
+    observation that the "relatively modest cross-sectional bandwidth
+    ... limits the performance of write-through".  Constants live in
+    :class:`~repro.config.CostModel` (``mc_*``) so the existing
+    bandwidth/latency sweeps keep working unchanged.
+    """
+
+    name = "memch"
+    remote_reads = False
+
+    def __init__(self, engine, cluster: ClusterConfig, costs: CostModel):
+        super().__init__(engine, cluster, costs)
+        self._hub_busy: float = 0.0
+
+    def write(
+        self,
+        src_node: int,
+        nbytes: int,
+        broadcast: bool = False,
+        dst_node: int = -1,
+    ) -> float:
         """Schedule a remote write of ``nbytes`` from ``src_node``.
 
-        Returns the absolute sim time at which the data is visible at the
-        destination(s).  A broadcast occupies the hub once and is seen by
-        every node (the hub replicates it), which is how Cashmere pushes
-        directory updates.
+        A broadcast occupies the hub once and is seen by every node (the
+        hub replicates it), which is how Cashmere pushes directory
+        updates.  ``dst_node`` is ignored: every transfer crosses the
+        one shared hub regardless of destination.
         """
         if nbytes < 0:
             raise ValueError("negative transfer size")
@@ -71,9 +184,7 @@ class MemoryChannel:
         done = max(link_end, hub_end)
         self._link_busy[src_node] = link_end
         self._hub_busy = hub_end
-        self.usage[src_node].bytes_sent += nbytes
-        self.usage[src_node].transfers += 1
-        self.total_bytes += nbytes
+        self._account(src_node, nbytes)
         return done + self.costs.mc_latency
 
     def flush_time(self, src_node: int) -> float:
@@ -82,8 +193,229 @@ class MemoryChannel:
         completion)."""
         return max(self._link_busy[src_node], 0.0) + self.costs.mc_latency
 
-    # -- introspection ----------------------------------------------------
+    def msg_cpus(self, transport: Transport) -> Tuple[float, float]:
+        # User-level MC buffers: sender-side cost only (includes the
+        # sense-reversing flow-control flags); DEC's kernel UDP adds a
+        # kernel crossing on each end.
+        if transport is Transport.UDP:
+            return self.costs.msg_cpu_udp, self.costs.msg_cpu_udp
+        return self.costs.msg_cpu_mc, 0.0
 
-    @property
-    def aggregate_bytes(self) -> int:
-        return self.total_bytes
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        costs = CostModel()
+        return {
+            "latency_us": f"{costs.mc_latency:g}",
+            "link_bandwidth_bytes_per_us": f"{costs.mc_link_bandwidth:g}",
+            "aggregate_bandwidth_bytes_per_us": (
+                f"{costs.mc_aggregate_bandwidth:g}"
+            ),
+            "remote_reads": "no",
+            "msg_cpu_send_us": f"{costs.msg_cpu_mc:g}",
+            "msg_cpu_recv_us": "0",
+        }
+
+
+# --- RDMA/InfiniBand-class fabric constants (all microseconds/bytes) ----
+#
+# Calibrated to the modern-interconnect numbers the related work cites
+# (SNIPPETS.md snippet 2: ~50 Gbit/s per InfiniBand link, latency tens
+# of times below kernel TCP; the user-level-DSM paper's 1-2 us
+# one-sided operations).
+RDMA_LATENCY = 1.5  # one-sided RDMA write, posted to visible
+RDMA_READ_LATENCY = 3.0  # one-sided read: request + data round trip
+RDMA_LINK_BANDWIDTH = 6000.0  # bytes/us (~48 Gbit/s per link)
+RDMA_SWITCH_BANDWIDTH = 48000.0  # bytes/us (non-blocking 8-port switch)
+RDMA_MSG_CPU = 0.9  # verbs post: WQE build + doorbell write
+RDMA_RECV_CPU = 0.0  # completion-queue polling at user level
+
+
+class RdmaNetwork(NetworkModel):
+    """A modern RDMA fabric: one-sided reads *and* writes, fat links.
+
+    Differences from the Memory Channel that matter to the protocols:
+
+    * :meth:`read` exists — a page or diff can stream out of a remote
+      node's memory with no remote CPU involvement, which removes the
+      request/reply round trip (and the interrupt/poll disturbance)
+      from TreadMarks/HLRC data fetches.
+    * Per-**queue-pair** occupancy: a (source, destination) pair has its
+      own send queue, so transfers to distinct destinations from one
+      node overlap; the shared resources are the source link and the
+      (effectively non-blocking) switch.
+    * No hardware broadcast: a broadcast write occupies the source link
+      once per destination node (the switch replicates nothing), which
+      is what makes Cashmere's directory broadcast scale poorly here.
+    """
+
+    name = "rdma"
+    remote_reads = True
+
+    def __init__(self, engine, cluster: ClusterConfig, costs: CostModel):
+        super().__init__(engine, cluster, costs)
+        self._switch_busy: float = 0.0
+        self._qp_busy: Dict[Tuple[int, int], float] = {}
+
+    def _transfer(self, src_node: int, nbytes: int, dst_node: int) -> float:
+        """Common wire timing: QP serialization, link, switch."""
+        now = self.engine.now
+        start = max(now, self._link_busy[src_node])
+        if dst_node >= 0:
+            qp = (src_node, dst_node)
+            start = max(start, self._qp_busy.get(qp, 0.0))
+        link_end = start + nbytes / RDMA_LINK_BANDWIDTH
+        switch_start = max(start, self._switch_busy)
+        switch_end = switch_start + nbytes / RDMA_SWITCH_BANDWIDTH
+        done = max(link_end, switch_end)
+        self._link_busy[src_node] = link_end
+        self._switch_busy = switch_end
+        if dst_node >= 0:
+            self._qp_busy[(src_node, dst_node)] = done
+        return done
+
+    def write(
+        self,
+        src_node: int,
+        nbytes: int,
+        broadcast: bool = False,
+        dst_node: int = -1,
+    ) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        if broadcast:
+            # No hardware replication: one unicast per other node, all
+            # serialized on the source link.
+            done = self.engine.now
+            fanout = max(1, self.cluster.n_nodes - 1)
+            for _ in range(fanout):
+                done = self._transfer(src_node, nbytes, -1)
+            self._account(src_node, nbytes * fanout)
+            return done + RDMA_LATENCY
+        done = self._transfer(src_node, nbytes, dst_node)
+        self._account(src_node, nbytes)
+        return done + RDMA_LATENCY
+
+    def read(self, src_node: int, from_node: int, nbytes: int) -> float:
+        """One-sided read: the data crosses ``from_node``'s link; the
+        extra latency covers the request half of the round trip."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        done = self._transfer(from_node, nbytes, src_node)
+        self._account(from_node, nbytes)
+        return done + RDMA_READ_LATENCY
+
+    def flush_time(self, src_node: int) -> float:
+        return max(self._link_busy[src_node], 0.0) + RDMA_LATENCY
+
+    def msg_cpus(self, transport: Transport) -> Tuple[float, float]:
+        # Verbs are user-level on every transport: the UDP variant has
+        # no kernel to cross here.
+        return RDMA_MSG_CPU, RDMA_RECV_CPU
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        return {
+            "latency_us": f"{RDMA_LATENCY:g}",
+            "read_latency_us": f"{RDMA_READ_LATENCY:g}",
+            "link_bandwidth_bytes_per_us": f"{RDMA_LINK_BANDWIDTH:g}",
+            "switch_bandwidth_bytes_per_us": f"{RDMA_SWITCH_BANDWIDTH:g}",
+            "remote_reads": "yes",
+            "msg_cpu_send_us": f"{RDMA_MSG_CPU:g}",
+            "msg_cpu_recv_us": f"{RDMA_RECV_CPU:g}",
+        }
+
+
+# --- Commodity Ethernet/TCP constants (all microseconds/bytes) ----------
+ETH_LATENCY = 35.0  # one-way kernel-to-kernel over a switched LAN
+ETH_LINK_BANDWIDTH = 12.5  # bytes/us (100 Mbit/s link)
+ETH_SWITCH_BANDWIDTH = 125.0  # bytes/us (switch backplane)
+ETH_MSG_CPU = 60.0  # kernel socket crossing, each end of every message
+
+
+class EthernetNetwork(NetworkModel):
+    """Commodity switched Ethernet under kernel TCP/IP.
+
+    The other extreme from the Memory Channel: no remote memory access
+    of any kind — every byte moves through a kernel socket on both ends
+    (``msg_cpus`` charges a kernel crossing to sender *and* receiver on
+    every transport), one-way latency is an order of magnitude above
+    MC's, and links are thin.  "Remote writes" issued by the protocols
+    (directory broadcasts, write-through) are modelled as wire traffic
+    with this latency — the CPU cost of the messaging that would carry
+    them is deliberately left out, making the model a *lower bound* on
+    Ethernet's real cost to Cashmere (it loses the comparison anyway;
+    see docs/NETWORKS.md).
+    """
+
+    name = "ethernet"
+    remote_reads = False
+
+    def __init__(self, engine, cluster: ClusterConfig, costs: CostModel):
+        super().__init__(engine, cluster, costs)
+        self._switch_busy: float = 0.0
+
+    def write(
+        self,
+        src_node: int,
+        nbytes: int,
+        broadcast: bool = False,
+        dst_node: int = -1,
+    ) -> float:
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        now = self.engine.now
+        start = max(now, self._link_busy[src_node])
+        if broadcast:
+            # Switched Ethernet floods a broadcast frame: one link
+            # occupancy at the source, replicated by the switch.
+            pass
+        link_end = start + nbytes / ETH_LINK_BANDWIDTH
+        switch_start = max(start, self._switch_busy)
+        switch_end = switch_start + nbytes / ETH_SWITCH_BANDWIDTH
+        done = max(link_end, switch_end)
+        self._link_busy[src_node] = link_end
+        self._switch_busy = switch_end
+        self._account(src_node, nbytes)
+        return done + ETH_LATENCY
+
+    def flush_time(self, src_node: int) -> float:
+        return max(self._link_busy[src_node], 0.0) + ETH_LATENCY
+
+    def msg_cpus(self, transport: Transport) -> Tuple[float, float]:
+        # Kernel sockets both ways, whatever the nominal transport.
+        return ETH_MSG_CPU, ETH_MSG_CPU
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        return {
+            "latency_us": f"{ETH_LATENCY:g}",
+            "link_bandwidth_bytes_per_us": f"{ETH_LINK_BANDWIDTH:g}",
+            "switch_bandwidth_bytes_per_us": f"{ETH_SWITCH_BANDWIDTH:g}",
+            "remote_reads": "no",
+            "msg_cpu_send_us": f"{ETH_MSG_CPU:g}",
+            "msg_cpu_recv_us": f"{ETH_MSG_CPU:g}",
+        }
+
+
+#: Backend registry, keyed by the ``--network`` / ``RunConfig.network``
+#: name.  ``repro.config.NETWORK_BACKENDS`` lists the same names (the
+#: config layer cannot import this module); the assertion keeps them in
+#: lock step.
+NETWORK_MODELS: Dict[str, type] = {
+    cls.name: cls for cls in (MemoryChannel, RdmaNetwork, EthernetNetwork)
+}
+assert tuple(NETWORK_MODELS) == NETWORK_BACKENDS
+
+
+def build_network(
+    name: str, engine, cluster: ClusterConfig, costs: CostModel
+) -> NetworkModel:
+    """Instantiate the backend registered under ``name``."""
+    try:
+        model = NETWORK_MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(NETWORK_MODELS))
+        raise ValueError(
+            f"unknown network backend {name!r}; known: {known}"
+        ) from None
+    return model(engine, cluster, costs)

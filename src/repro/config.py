@@ -79,6 +79,13 @@ def variant_by_name(name: str) -> Variant:
         raise ValueError(f"unknown variant {name!r}; known: {known}") from None
 
 
+#: Interconnect backends selectable via ``RunConfig.network`` /
+#: ``--network``.  The classes live in :mod:`repro.cluster.network`
+#: (which imports this module, so only the names can live here); that
+#: module asserts its registry matches this tuple.  See docs/NETWORKS.md.
+NETWORK_BACKENDS = ("memch", "rdma", "ethernet")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Topology of the simulated AlphaServer cluster.
@@ -233,6 +240,11 @@ class RunConfig:
     nprocs: int
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     costs: CostModel = field(default_factory=CostModel)
+    # Interconnect backend (see repro.cluster.network / docs/NETWORKS.md).
+    # "memch" is the paper's Memory Channel; "rdma" and "ethernet" are
+    # the cross-era what-if fabrics.  Changes simulated results, so it
+    # enters the result-cache key.
+    network: str = "memch"
     first_touch_homes: bool = True  # Cashmere home placement policy
     exclusive_mode: bool = True  # Cashmere exclusive-mode optimisation
     write_double_dummy: bool = False  # paper's dummy-address diagnostic
@@ -256,6 +268,11 @@ class RunConfig:
     warm_start: bool = False
 
     def __post_init__(self) -> None:
+        if self.network not in NETWORK_BACKENDS:
+            known = ", ".join(NETWORK_BACKENDS)
+            raise ValueError(
+                f"unknown network backend {self.network!r}; known: {known}"
+            )
         if self.nprocs < 1:
             raise ValueError("need at least one processor")
         if self.nprocs > self.compute_cpus_available:

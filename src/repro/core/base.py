@@ -363,6 +363,35 @@ class DsmProtocol(abc.ABC):
     def serve(self, proc: Processor, request: Request) -> Generator:
         """Handle one incoming remote request on ``proc``."""
 
+    # -- one-sided data movement ----------------------------------------------
+
+    def rdma_read(
+        self, proc: Processor, from_node: int, nbytes: int
+    ) -> Generator:
+        """Pull ``nbytes`` out of ``from_node``'s memory with a one-sided
+        remote read: wire time only, no remote CPU, no request/reply.
+
+        Only valid when ``self.network.remote_reads`` is True (the
+        caller gates on it); protocols use this to replace page/diff
+        fetch round-trips on RDMA-class backends (docs/NETWORKS.md).
+        The issuing processor blocks — servicing incoming requests
+        meanwhile, like any fetch — until the data lands.
+        """
+        start = self.engine.now
+        done = self.network.read(proc.node.nid, from_node, nbytes)
+        proc.bump("rdma_reads")
+        proc.bump("data_bytes", nbytes)
+        arrived = self.engine.event()
+        self.engine.succeed_at(done, arrived)
+        yield from proc.wait(arrived, Category.COMM_WAIT)
+        self.trace(
+            proc,
+            "rdma_read",
+            dur=self.engine.now - start,
+            nbytes=nbytes,
+            from_node=from_node,
+        )
+
     # -- cost modelling hooks ---------------------------------------------
 
     def compute_factors(self, ws: WorkingSet) -> tuple:

@@ -314,7 +314,16 @@ class CashmereProtocol(DsmProtocol):
             return
         if entry.copy is None:
             entry.copy = np.empty(self.space.page_size, np.uint8)
-        if self.cfg.remote_reads:
+        if self.network.remote_reads:
+            # The backend has real one-sided reads (RDMA): the page
+            # streams straight out of the home node's memory, no remote
+            # CPU, no request/reply (see docs/NETWORKS.md).
+            yield from self.rdma_read(
+                proc, dir_entry.home_node, self.space.page_size
+            )
+            entry.copy[:] = master
+            proc.bump("page_transfers")
+        elif self.cfg.remote_reads:
             # Hypothetical hardware remote reads (Section 3.2): the page
             # streams from the home node's memory with no remote CPU
             # involvement, crossing each bus exactly once.

@@ -210,13 +210,23 @@ class HlrcProtocol(LrcProtocolBase):
                 ),
                 Category.PROTOCOL,
             )
-        snapshot = yield from self.messenger.request(
-            proc,
-            self.cluster.proc(home),
-            PAGE_FETCH,
-            payload=page_idx,
-            size=8,
-        )
+        if self.network.remote_reads:
+            # One-sided read of the home copy (the home's master page is
+            # always current under HLRC): wire time only, no home CPU.
+            yield from self.rdma_read(
+                proc,
+                self.cluster.proc(home).node.nid,
+                self.space.page_size,
+            )
+            snapshot = self._home_page(page_idx)
+        else:
+            snapshot = yield from self.messenger.request(
+                proc,
+                self.cluster.proc(home),
+                PAGE_FETCH,
+                payload=page_idx,
+                size=8,
+            )
         yield from proc.busy(
             self.costs.memcpy_cost(self.space.page_size), Category.PROTOCOL
         )

@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.config import RunConfig, SystemKind
 from repro.cluster.machine import Cluster
 from repro.cluster.messaging import Messenger
-from repro.cluster.network import MemoryChannel
+from repro.cluster.network import NetworkModel, build_network
 from repro.core.runtime.env import Env
 from repro.memory.address_space import AddressSpace
 from repro.sim import Engine
@@ -78,7 +78,7 @@ class System:
 
     engine: Engine
     cluster: Cluster
-    network: MemoryChannel
+    network: NetworkModel
     messenger: Messenger
     space: AddressSpace
     stats: StatsBoard
@@ -114,7 +114,9 @@ def build_system(
         placement,
         stats,
     )
-    network = MemoryChannel(engine, run_cfg.cluster, run_cfg.costs)
+    network = build_network(
+        run_cfg.network, engine, run_cfg.cluster, run_cfg.costs
+    )
     messenger = Messenger(
         engine, cluster, network, run_cfg.costs, run_cfg.variant.transport
     )
@@ -158,7 +160,7 @@ def _build_protocol(
     system: SystemKind,
     engine: Engine,
     cluster: Cluster,
-    network: MemoryChannel,
+    network: NetworkModel,
     messenger: Messenger,
     space: AddressSpace,
     stats: StatsBoard,

@@ -29,7 +29,7 @@ from repro.cluster.machine import Processor
 from repro.cluster.messaging import Request
 from repro.core.lrc import LrcProcState, LrcProtocolBase
 from repro.core.intervals import IntervalStore
-from repro.memory.diff import Diff, apply_diff_versioned, make_diff
+from repro.memory.diff import WORD, Diff, apply_diff_versioned, make_diff
 from repro.memory.page import Protection
 from repro.stats import Category
 
@@ -122,6 +122,12 @@ class TreadMarksProtocol(LrcProtocolBase):
     # created lazily per instance; the class attribute is only the
     # "never released yet" sentinel.
     _twin_pool = None
+
+    # Reusable changed-word mask for diff creation (wall-clock only):
+    # ``make_diff`` needs one bool per page word, and ``_serve_diff_fetch``
+    # is the hottest diff site, so the buffer is recycled across calls —
+    # the same lazy per-instance pattern as the twin pool.
+    _diff_scratch = None
 
     @property
     def gc_record_threshold(self) -> int:
@@ -221,9 +227,29 @@ class TreadMarksProtocol(LrcProtocolBase):
         if not needed:
             return
         self.trace(proc, "diff_fetch", page=page_idx, writers=len(needed))
+        one_sided = self.network.remote_reads
         # Request all writers' diffs concurrently, then collect replies.
         requests = []
+        pulls = []
         for writer in sorted(needed):
+            if one_sided:
+                # On RDMA-class backends a writer publishes its cached
+                # diffs in registered memory (GeNIMA-style descriptor
+                # ring): when they already cover the asked interval,
+                # pull them with a one-sided read — no writer CPU, no
+                # round trip.  An interval still open in the writer's
+                # twin needs the writer to *create* the diff, so that
+                # writer falls back to the request/reply path.
+                wd = self.procs[writer].diff_cache.get(page_idx)
+                if wd is not None and wd.covered >= needed[writer]:
+                    have = page.have_seq.get(writer, 0)
+                    diffs = [
+                        (seq, tag, diff)
+                        for seq, tag, diff in wd.cache
+                        if seq > have
+                    ]
+                    pulls.append((writer, diffs, wd.covered))
+                    continue
             request = yield from self.messenger.post_request(
                 proc,
                 self.cluster.proc(writer),
@@ -237,6 +263,18 @@ class TreadMarksProtocol(LrcProtocolBase):
             )
             requests.append((writer, request))
         incoming = []
+        for writer, diffs, covered in pulls:
+            size = sum(d.encoded_size for _, _, d in diffs) + 16
+            yield from self.rdma_read(
+                proc, self.cluster.proc(writer).node.nid, size
+            )
+            page.covered_iid[writer] = max(
+                page.covered_iid.get(writer, 0), covered
+            )
+            for seq, tag, diff in diffs:
+                if seq <= page.have_seq.get(writer, 0):
+                    continue
+                incoming.append((tag, writer, seq, diff))
         for writer, request in requests:
             diffs, covered = yield from proc.wait(request.reply_event)
             page.covered_iid[writer] = max(
@@ -282,6 +320,26 @@ class TreadMarksProtocol(LrcProtocolBase):
             page.copy = self._serve_page_fetch_source(
                 self._state(proc), page_idx
             ).copy()
+            return
+        if self.network.remote_reads:
+            # One-sided read of the manager's copy: wire time only, no
+            # manager CPU.  The requester still pays one bus pass to
+            # move the landed bytes into the working page.
+            yield from self.rdma_read(
+                proc,
+                self.cluster.proc(manager).node.nid,
+                self.space.page_size,
+            )
+            snapshot = self._serve_page_fetch_source(
+                self.procs[manager], page_idx
+            )
+            yield from proc.busy(
+                self.costs.memcpy_cost(self.space.page_size),
+                Category.PROTOCOL,
+            )
+            page.copy = snapshot.copy()
+            proc.bump("page_fetches")
+            self.trace(proc, "page_fetch", page=page_idx, manager=manager)
             return
         snapshot = yield from self.messenger.request(
             proc,
@@ -349,6 +407,71 @@ class TreadMarksProtocol(LrcProtocolBase):
             return page.copy
         return self.space.backing_page(page_idx)
 
+    def _flush_twin(
+        self,
+        proc: Processor,
+        page_idx: int,
+        page: TmkPage,
+        writer_diffs: WriterDiffs,
+    ) -> Generator:
+        """Diff the open twin into the cached diff list and retire it.
+
+        Shared by the on-demand serve path (a DIFF_FETCH arrived) and
+        the eager interval-close path used on one-sided backends.
+        """
+        scratch = self._diff_scratch
+        if scratch is None:
+            scratch = self._diff_scratch = np.empty(
+                self.space.page_size // WORD, bool
+            )
+        diff = make_diff(page.twin, page.copy, scratch)
+        dirty_fraction = diff.dirty_bytes / self.space.page_size
+        yield from proc.busy(
+            self.costs.diff_cost(self.space.page_size, dirty_fraction),
+            Category.PROTOCOL,
+        )
+        writer_diffs.seq += 1
+        page.lamport += 1
+        writer_diffs.cache.append((writer_diffs.seq, page.lamport, diff))
+        pool = self._twin_pool
+        if pool is None:
+            pool = self._twin_pool = []
+        pool.append(page.twin)
+        page.twin = None
+        proc.bump("diffs_created")
+        self.trace(
+            proc, "diff_create", page=page_idx, bytes=diff.dirty_bytes
+        )
+        if page.perm is Protection.READ_WRITE:
+            self._set_perm(proc.pid, page_idx, page, Protection.READ)
+            yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _on_interval_closed(self, proc: Processor, pages) -> Generator:
+        if not self.network.remote_reads:
+            return
+        # One-sided backends: eagerly diff written pages at interval
+        # close, publishing the diffs in the (registered) cache so
+        # peers pull them with one-sided reads instead of request/reply
+        # — the GeNIMA-style restructuring that lets TreadMarks
+        # actually exploit remote reads.  Adaptively: only pages some
+        # peer has *already requested diffs for* (a WriterDiffs record
+        # exists) are flushed — the first fetch of a page pays one
+        # round trip, every later interval is pulled one-sided, and
+        # unshared pages (or whole single-processor runs) never pay
+        # for diffs nobody will read.
+        state = self._state(proc)
+        iid = state.vts[proc.pid]
+        for page_idx in pages:
+            writer_diffs = state.diff_cache.get(page_idx)
+            if writer_diffs is None:
+                continue
+            page = state.page(page_idx)
+            if page.twin is not None:
+                yield from self._flush_twin(
+                    proc, page_idx, page, writer_diffs
+                )
+            writer_diffs.covered = max(writer_diffs.covered, iid)
+
     def _serve_diff_fetch(self, proc: Processor, request: Request) -> Generator:
         page_idx, have_seq, need_iid = request.payload
         state = self._state(proc)
@@ -356,36 +479,9 @@ class TreadMarksProtocol(LrcProtocolBase):
         page = state.page(page_idx)
         if need_iid > writer_diffs.covered:
             if page.twin is not None:
-                diff = make_diff(page.twin, page.copy)
-                dirty_fraction = diff.dirty_bytes / self.space.page_size
-                yield from proc.busy(
-                    self.costs.diff_cost(
-                        self.space.page_size, dirty_fraction
-                    ),
-                    Category.PROTOCOL,
+                yield from self._flush_twin(
+                    proc, page_idx, page, writer_diffs
                 )
-                writer_diffs.seq += 1
-                page.lamport += 1
-                writer_diffs.cache.append(
-                    (writer_diffs.seq, page.lamport, diff)
-                )
-                pool = self._twin_pool
-                if pool is None:
-                    pool = self._twin_pool = []
-                pool.append(page.twin)
-                page.twin = None
-                proc.bump("diffs_created")
-                self.trace(
-                    proc,
-                    "diff_create",
-                    page=page_idx,
-                    bytes=diff.dirty_bytes,
-                )
-                if page.perm is Protection.READ_WRITE:
-                    self._set_perm(proc.pid, page_idx, page, Protection.READ)
-                    yield from proc.busy(
-                        self.costs.mprotect, Category.PROTOCOL
-                    )
             # With no twin left, every write up to (at least) the asked
             # interval is represented in the cached diffs.
             writer_diffs.covered = max(writer_diffs.covered, need_iid)

@@ -35,7 +35,7 @@ from typing import Any, Dict, Optional
 from repro.config import RunConfig
 
 #: Bump to invalidate every existing cache entry (result shape change).
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # 2: network backend entered the run key
 
 _ENV_VAR = "REPRO_DSM_CACHE"
 
@@ -106,6 +106,7 @@ def run_key(
         "cluster": _canonical(asdict(cfg.cluster)),
         "costs": _canonical(asdict(cfg.costs)),
         "flags": {
+            "network": cfg.network,
             "first_touch_homes": cfg.first_touch_homes,
             "exclusive_mode": cfg.exclusive_mode,
             "write_double_dummy": cfg.write_double_dummy,

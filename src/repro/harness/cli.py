@@ -23,7 +23,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import api
-from repro.config import ALL_VARIANTS, EXTENSION_VARIANTS, variant_by_name
+from repro.config import (
+    ALL_VARIANTS,
+    EXTENSION_VARIANTS,
+    NETWORK_BACKENDS,
+    variant_by_name,
+)
 from repro.apps import registry
 from repro.harness import figure5
 from repro.harness.cache import ResultCache
@@ -132,6 +137,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--network",
+        default=None,
+        choices=NETWORK_BACKENDS,
+        help=(
+            "interconnect backend: memch (paper's Memory Channel, "
+            "default), rdma (modern one-sided reads+writes), or "
+            "ethernet (kernel TCP) — CHANGES simulated results; see "
+            "docs/NETWORKS.md"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         metavar="FILE",
         default=None,
@@ -155,6 +171,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         debug_checks=args.debug_checks,
         no_calqueue=args.no_calqueue,
         no_kernels=args.no_kernels,
+        network=args.network,
     ).apply()
     return ExperimentContext(
         scale=args.scale,
@@ -226,6 +243,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart",
         action="store_true",
         help="render ASCII stacked breakdown bars",
+    )
+
+    ce = sub.add_parser(
+        "cross_era",
+        help="Cashmere-vs-TreadMarks matrix across network backends "
+        "(memch / rdma / ethernet; see docs/NETWORKS.md)",
+    )
+    _add_common(ce)
+    ce.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    ce.add_argument(
+        "--variants",
+        nargs="+",
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+        help="protocol variants (default: csm_poll tmk_mc_poll)",
+    )
+    ce.add_argument(
+        "--counts",
+        nargs="+",
+        type=int,
+        help="processor counts (default 1 2 4 8 16 32)",
+    )
+    ce.add_argument(
+        "--networks",
+        nargs="+",
+        choices=NETWORK_BACKENDS,
+        help="backends to include (default: all three)",
+    )
+    ce.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII speedup charts (one per application, "
+        "overlaying all backends)",
     )
 
     sw = sub.add_parser("sweep", help="network-sensitivity sweeps")
@@ -334,8 +383,8 @@ def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
     agg = result.stats.aggregate_counters()
     interesting = (
         "read_faults", "write_faults", "page_transfers", "page_fetches",
-        "twins_created", "diffs_created", "messages", "data_bytes",
-        "write_through_bytes", "gc_rounds",
+        "twins_created", "diffs_created", "messages", "rdma_reads",
+        "data_bytes", "write_through_bytes", "gc_rounds",
     )
     for name in interesting:
         if agg[name]:
@@ -386,6 +435,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             kwargs = {"apps": args.apps, "nprocs": args.procs}
         elif args.command == "sweep":
             kwargs = {"knob": args.knob, "app": args.app, "nprocs": args.procs}
+        elif args.command == "cross_era":
+            kwargs = {
+                "apps": args.apps,
+                "variants": _parse_variants(args.variants),
+                "counts": args.counts,
+                "networks": args.networks,
+            }
         result = api.run_experiment(args.command, ctx=ctx, **kwargs)
         print(result.text)
         if getattr(args, "chart", False):
@@ -407,6 +463,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             elif args.command == "figure6":
                 print()
                 print(plots.breakdown_chart(list(result.rows)))
+            elif args.command == "cross_era":
+                from repro.harness import cross_era
+
+                print()
+                print(cross_era.chart(list(result.rows)))
     elif args.command == "trace":
         _run_trace(ctx, args)
     elif args.command == "run":

@@ -164,6 +164,11 @@ class ExperimentContext:
     def _spec_for(self, point: BatchPoint) -> PointSpec:
         overrides = dict(point.overrides)
         trace = overrides.pop("trace", self.trace)
+        if self.options is not None:
+            # The network backend changes simulated results, so it rides
+            # in the RunConfig overrides (and hence the cache key), not
+            # just in the shipped SimOptions.
+            overrides.setdefault("network", self.options.network)
         return PointSpec(
             app=point.app,
             variant_name=(

@@ -40,19 +40,28 @@ class Diff:
         return not self.runs
 
 
-def make_diff(twin: np.ndarray, current: np.ndarray) -> Diff:
+def make_diff(
+    twin: np.ndarray, current: np.ndarray, scratch: np.ndarray = None
+) -> Diff:
     """Encode the words of ``current`` that differ from ``twin``.
 
     Both arguments are uint8 arrays of the same page-sized, word-aligned
     length.  Run boundaries are found entirely in NumPy: a run starts
     wherever the gap between consecutive changed-word indices exceeds
     one, so the Python-level work is one loop over *runs*, not words.
+
+    ``scratch`` — an optional reusable bool array of one element per
+    word — receives the changed-word mask, avoiding the per-call
+    allocation on the diff-serving hot path (wall-clock only; callers
+    own the buffer and must not hold the mask across calls).
     """
     if twin.shape != current.shape:
         raise ValueError("twin and current page must be the same size")
     if len(twin) % WORD:
         raise ValueError(f"page size must be a multiple of {WORD}")
-    changed = twin.view(np.uint64) != current.view(np.uint64)
+    changed = np.not_equal(
+        twin.view(np.uint64), current.view(np.uint64), out=scratch
+    )
     idx = np.flatnonzero(changed)
     if idx.size == 0:
         return Diff(())

@@ -12,7 +12,14 @@ The environment variables keep working as **deprecated aliases**: they
 are folded into :meth:`SimOptions.from_env` and produce a one-time
 stderr warning pointing at the replacement flag.  Every toggle is a
 wall-clock lever only — simulated results are bit-identical in every
-combination (locked in by ``tests/test_engine_equivalence.py``).
+combination (locked in by ``tests/test_engine_equivalence.py``) — with
+one documented exception: ``network`` selects the simulated
+interconnect backend (docs/NETWORKS.md) and therefore *changes
+simulated results*.  It rides in SimOptions because it is plumbed the
+same way (CLI flag -> context -> workers), but the authoritative copy
+is :attr:`repro.config.RunConfig.network`, which enters the
+result-cache key; each backend's results are pinned by their own
+goldens (``tests/golden_networks.json``).
 """
 
 from __future__ import annotations
@@ -67,12 +74,19 @@ class SimOptions:
         Vectorized application kernels over the bulk region API
         (PR 5).  Off restores the per-element scalar reference loops
         in every app — the A/B escape hatch for the kernel layer.
+    ``network``
+        Interconnect backend name (``memch``, ``rdma``, ``ethernet``;
+        see docs/NETWORKS.md).  **Not** a wall-clock toggle: it changes
+        simulated results and is copied into
+        :attr:`repro.config.RunConfig.network` (the cache-keyed,
+        authoritative field) by the facade and harness.
     """
 
     fastpath: bool = True
     debug_checks: bool = False
     calqueue: bool = True
     kernels: bool = True
+    network: str = "memch"
 
     @classmethod
     def from_env(cls, warn: bool = True) -> "SimOptions":
@@ -92,6 +106,7 @@ class SimOptions:
         debug_checks: bool = False,
         no_calqueue: bool = False,
         no_kernels: bool = False,
+        network: Optional[str] = None,
     ) -> "SimOptions":
         """Build options from CLI flag values, layered over the
         environment aliases (explicit flags win)."""
@@ -104,6 +119,8 @@ class SimOptions:
             options = replace(options, calqueue=False)
         if no_kernels:
             options = replace(options, kernels=False)
+        if network is not None:
+            options = replace(options, network=network)
         return options
 
     def apply(self) -> "SimOptions":

@@ -68,6 +68,7 @@ def run_metadata(result, scale: Optional[str] = None) -> Dict[str, Any]:
         "transport": cfg.variant.transport.value,
         "nprocs": cfg.nprocs,
         "scale": scale,
+        "network": cfg.network,
         "cluster": asdict(cfg.cluster),
         "costs": asdict(cfg.costs),
         "flags": {

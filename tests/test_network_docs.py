@@ -1,0 +1,99 @@
+"""docs/NETWORKS.md must catalog every network backend's constants.
+
+The catalog is enforced, not aspirational (the same deal as
+docs/OBSERVABILITY.md and tests/test_observability_docs.py): every
+backend registered in ``repro.cluster.network.NETWORK_MODELS`` must
+have its own ``## `<name>` ...`` section whose constants table matches
+the backend's ``describe()`` classmethod *exactly* — missing
+constants, stale values, phantom rows, and sections for backends that
+no longer exist all fail.
+"""
+
+import re
+from pathlib import Path
+
+from repro.cluster.network import NETWORK_MODELS
+
+REPO = Path(__file__).resolve().parent.parent
+DOC = REPO / "docs" / "NETWORKS.md"
+
+# A backend section opens with a heading whose first token is the
+# registry name in backticks: ## `memch` — ...
+SECTION = re.compile(r"^## `(\w+)`", re.M)
+
+# Constants rows: | `latency_us` | 5.2 | meaning |
+CONSTANT_ROW = re.compile(r"^\| `(\w+)` \| ([^|]+) \|", re.M)
+
+
+def documented_sections():
+    """``{backend_name: section_text}`` for every backend section."""
+    text = DOC.read_text()
+    matches = list(SECTION.finditer(text))
+    sections = {}
+    for i, match in enumerate(matches):
+        end = (
+            matches[i + 1].start()
+            if i + 1 < len(matches)
+            else len(text)
+        )
+        sections[match.group(1)] = text[match.start():end]
+    return sections
+
+
+def documented_constants(section_text):
+    return {
+        key: value.strip()
+        for key, value in CONSTANT_ROW.findall(section_text)
+    }
+
+
+def test_every_backend_has_a_section():
+    missing = set(NETWORK_MODELS) - set(documented_sections())
+    assert not missing, (
+        f"backends registered in repro.cluster.network but absent from "
+        f"docs/NETWORKS.md: {sorted(missing)}"
+    )
+
+
+def test_no_phantom_backend_sections():
+    phantom = set(documented_sections()) - set(NETWORK_MODELS)
+    assert not phantom, (
+        f"docs/NETWORKS.md documents backends nothing registers: "
+        f"{sorted(phantom)}"
+    )
+
+
+def test_constant_tables_match_describe_exactly():
+    sections = documented_sections()
+    for name, model in NETWORK_MODELS.items():
+        described = model.describe()
+        documented = documented_constants(sections[name])
+        missing = set(described) - set(documented)
+        assert not missing, (
+            f"{name}: constants in describe() but not docs/NETWORKS.md: "
+            f"{sorted(missing)}"
+        )
+        phantom = set(documented) - set(described)
+        assert not phantom, (
+            f"{name}: docs/NETWORKS.md documents constants describe() "
+            f"does not report: {sorted(phantom)}"
+        )
+        for key, value in described.items():
+            assert documented[key] == value, (
+                f"{name}: constant {key} is {documented[key]!r} in the "
+                f"docs but describe() reports {value!r} — update "
+                f"docs/NETWORKS.md"
+            )
+
+
+def test_doc_cross_references_exist():
+    text = DOC.read_text()
+    # The walkthrough points at real files; keep the pointers alive.
+    for ref in (
+        "tests/test_network_backends.py",
+        "tests/regen_golden_networks.py",
+        "tests/golden_networks.json",
+        ".github/workflows/ci.yml",
+    ):
+        assert ref in text, f"docs/NETWORKS.md lost its pointer to {ref}"
+        assert (REPO / ref).exists(), f"{ref} referenced but missing"
