@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
+
+#: Scale-tier aliases accepted anywhere a tier name is: ``paper`` is the
+#: full-size input set every app's docstring quotes, i.e. ``xlarge``.
+SCALE_ALIASES = {"paper": "xlarge"}
+
+
+def pick_scale(sizes: Dict[str, Dict], scale: str) -> Dict:
+    """Resolve a scale tier (honouring aliases) to a fresh params dict.
+
+    Every app's ``default_params`` goes through here so the tier names
+    — ``tiny``/``small``/``large``/``xlarge`` plus the ``paper`` alias —
+    stay uniform across the registry.
+    """
+    resolved = SCALE_ALIASES.get(scale, scale)
+    try:
+        return dict(sizes[resolved])
+    except KeyError:
+        known = sorted(sizes) + sorted(SCALE_ALIASES)
+        raise ValueError(f"unknown scale {scale!r}; known: {known}")
 
 
 def band(rank: int, nprocs: int, n: int) -> Tuple[int, int]:

@@ -28,7 +28,7 @@ import numpy as np
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
 from repro.apps import kernels
-from repro.apps.common import band, deterministic_rng
+from repro.apps.common import band, deterministic_rng, pick_scale
 
 US_PER_EDGE = 0.3  # one weighted dependency update
 WINDOW = 96  # dependency window around a node's own index
@@ -40,8 +40,10 @@ def default_params(scale: str = "small") -> Dict:
         "tiny": dict(n_nodes=256, degree=4, iters=4),
         "small": dict(n_nodes=31200, degree=8, iters=8),
         "large": dict(n_nodes=46800, degree=8, iters=12),
+        # The paper's full 60646-node bipartite graph.
+        "xlarge": dict(n_nodes=60646, degree=8, iters=16),
     }
-    return dict(sizes[scale])
+    return pick_scale(sizes, scale)
 
 
 def _dependencies(params: Dict) -> Dict[str, np.ndarray]:

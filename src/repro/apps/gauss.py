@@ -33,7 +33,7 @@ import numpy as np
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
 from repro.apps import kernels
-from repro.apps.common import deterministic_rng
+from repro.apps.common import deterministic_rng, pick_scale
 
 US_PER_ELEM = 0.1  # one dependent multiply-subtract, memory bound
 
@@ -70,8 +70,10 @@ def default_params(scale: str = "small") -> Dict:
         "tiny": dict(n=48),
         "small": dict(n=320),
         "large": dict(n=512),
+        # The paper's full 2046x2046 system.
+        "xlarge": dict(n=2046),
     }
-    return dict(sizes[scale])
+    return pick_scale(sizes, scale)
 
 
 def _padded_width(n: int, page_size: int) -> int:
@@ -124,6 +126,15 @@ def worker(env, shared: Dict, params: Dict):
     # a suffix of it.
     mirror = None
     mirror_rows = None
+    # Loop-invariant gather geometry, hoisted out of the pivot loop
+    # (ROADMAP "profiled micro-levers"): each step's region covers a
+    # suffix of this rank's ascending row list with a sliding column
+    # window, so the per-row byte bases are computed once up front and
+    # ``my_rows`` advances by pointer instead of a fresh O(rows)
+    # comprehension per pivot.
+    rows_list = list(mine)  # ascending: range(rank, n, nprocs) order
+    gather = matrix.row_gather(rows_list)
+    next_idx = 0  # first entry of rows_list still > k
     for k in range(n - 1):
         owner = k % nprocs
         if owner == rank:
@@ -134,7 +145,9 @@ def worker(env, shared: Dict, params: Dict):
         if pivot is None:
             pivot = yield from matrix.read_rows(env, k, k + 1)
         pivot = pivot[0]
-        my_rows = [r for r in mine if r > k]
+        while next_idx < len(rows_list) and rows_list[next_idx] <= k:
+            next_idx += 1
+        my_rows = rows_list[next_idx:]
         if not my_rows:
             continue
         rank_rows = len(my_rows)
@@ -151,9 +164,7 @@ def worker(env, shared: Dict, params: Dict):
                 # leaves it unseeded and this round runs the scalar
                 # loop below — bit-identical fault replay — until a
                 # later round gathers hot.
-                got = matrix.region_view(
-                    env, matrix.region_row_gather(my_rows, 0, width)
-                )
+                got = matrix.region_view(env, gather.region(next_idx))
                 if got is not None:
                     mirror = np.array(got)  # writable copy
                     mirror_rows = my_rows
@@ -166,9 +177,7 @@ def worker(env, shared: Dict, params: Dict):
                 block = mirror[i0:, k : n + 1]
                 updated = kernels.gauss_eliminate(block, pivot, k, n)
                 yield from matrix.write_region(
-                    env,
-                    matrix.region_row_gather(my_rows, k, n + 1),
-                    updated,
+                    env, gather.region(next_idx, k, n + 1), updated
                 )
                 block[:] = updated
                 continue

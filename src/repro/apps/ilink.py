@@ -26,7 +26,7 @@ import numpy as np
 from repro.config import WorkingSet
 from repro.core import Program, Region, SharedArray
 from repro.apps import kernels
-from repro.apps.common import deterministic_rng
+from repro.apps.common import deterministic_rng, pick_scale
 
 US_PER_UPDATE = 25.0  # one genotype-probability recurrence
 US_PER_SUM_ELEM = 0.04  # the master's serial reduction
@@ -38,8 +38,10 @@ def default_params(scale: str = "small") -> Dict:
         "tiny": dict(arrays=4, elems=2048, density=0.05, iters=3),
         "small": dict(arrays=6, elems=8192, density=0.05, iters=3),
         "large": dict(arrays=12, elems=16384, density=0.05, iters=6),
+        # ~12.6 MB of genarrays, matching the paper's 15 MB CLP pool.
+        "xlarge": dict(arrays=24, elems=65536, density=0.05, iters=8),
     }
-    return dict(sizes[scale])
+    return pick_scale(sizes, scale)
 
 
 def _sparse_slots(params: Dict) -> np.ndarray:

@@ -20,7 +20,7 @@ import numpy as np
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
 from repro.apps import kernels
-from repro.apps.common import deterministic_rng
+from repro.apps.common import deterministic_rng, pick_scale
 
 # Per-flop cost of the blocked kernels (dgemm-like inner loops, cache
 # resident on a 233 MHz 21064A).
@@ -33,8 +33,10 @@ def default_params(scale: str = "small") -> Dict:
         "tiny": dict(n=64, block=16),
         "small": dict(n=512, block=32),
         "large": dict(n=768, block=32),
+        # The paper's full 2048x2048 matrix with 32x32 blocks.
+        "xlarge": dict(n=2048, block=32),
     }
-    return dict(sizes[scale])
+    return pick_scale(sizes, scale)
 
 
 def _owner(bi: int, bj: int, nblocks: int, nprocs: int) -> int:

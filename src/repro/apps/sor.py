@@ -21,7 +21,7 @@ import numpy as np
 from repro.config import WorkingSet
 from repro.core import Program, SharedArray
 from repro.apps import kernels
-from repro.apps.common import band, deterministic_rng
+from repro.apps.common import band, deterministic_rng, pick_scale
 
 # Per-cell stencil cost: four flops plus the loads/stores of a
 # memory-bound sweep on a 233 MHz 21064A.
@@ -37,8 +37,10 @@ def default_params(scale: str = "small") -> Dict:
         "tiny": dict(rows=24, cols=32, iters=4),
         "small": dict(rows=256, cols=2048, iters=6),
         "large": dict(rows=768, cols=2048, iters=24),
+        # The paper's full 3072x4096 grid (Section 4.2).
+        "xlarge": dict(rows=3072, cols=4096, iters=24),
     }
-    return dict(sizes[scale])
+    return pick_scale(sizes, scale)
 
 
 def _phase_update(other_halo: np.ndarray) -> np.ndarray:
@@ -88,9 +90,24 @@ def worker(env, shared: Dict, params: Dict):
     # the full-range read below, which faults the same pages in the same
     # ascending order the scalar path does.
     halo_buf: Dict[int, np.ndarray] = {}
+    # Loop-invariant regions, hoisted out of the iteration loop (ROADMAP
+    # "profiled micro-levers", the lu block-map idiom): every phase
+    # touches the same four shapes — the full halo band, the two single
+    # halo rows, and the written band — so their byte segments and page
+    # spans are computed once instead of per phase.
+    regions: Dict[int, tuple] = {}
+    if cells:
+        for arr in (red, black):
+            regions[id(arr)] = (
+                arr.region_rows(ulo - 1, uhi + 1),  # full halo band
+                arr.region_rows(ulo - 1, ulo),  # top halo row
+                arr.region_rows(uhi, uhi + 1),  # bottom halo row
+                arr.region_rows(ulo, uhi),  # written band
+            )
     for _ in range(iters):
         for color, source in ((red, black), (black, red)):
             if cells:
+                band_reg, top_reg, bot_reg, _ = regions[id(source)]
                 halo = None
                 if kernels.ENABLED:
                     buf = halo_buf.get(id(source))
@@ -104,24 +121,24 @@ def worker(env, shared: Dict, params: Dict):
                         # ascending, with any page shared between the
                         # two spans faulted once by the first read —
                         # so the event stream is identical.
-                        top = source.rows(env, ulo - 1, ulo)
+                        top = source.region_view(env, top_reg)
                         if top is None:
-                            top = yield from source.read_rows(
-                                env, ulo - 1, ulo
+                            top = yield from source.read_region(
+                                env, top_reg
                             )
-                        bot = source.rows(env, uhi, uhi + 1)
+                        bot = source.region_view(env, bot_reg)
                         if bot is None:
-                            bot = yield from source.read_rows(
-                                env, uhi, uhi + 1
+                            bot = yield from source.read_region(
+                                env, bot_reg
                             )
                         buf[0] = top[0]
                         buf[-1] = bot[0]
                         halo = buf
                 if halo is None:
-                    halo = source.rows(env, ulo - 1, uhi + 1)
+                    halo = source.region_view(env, band_reg)
                     if halo is None:
-                        halo = yield from source.read_rows(
-                            env, ulo - 1, uhi + 1
+                        halo = yield from source.read_region(
+                            env, band_reg
                         )
                     if kernels.ENABLED:
                         buf = halo_buf.get(id(source))
@@ -139,7 +156,9 @@ def worker(env, shared: Dict, params: Dict):
                     updated = kernels.sor_phase_update(halo)
                 else:
                     updated = _phase_update(halo)
-                yield from color.write_rows(env, ulo, updated)
+                yield from color.write_region(
+                    env, regions[id(color)][3], updated
+                )
                 if kernels.ENABLED:
                     cbuf = halo_buf.get(id(color))
                     if cbuf is None:

@@ -9,7 +9,9 @@ source text drops digits in a few numbers; every such constant is marked
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class SystemKind(enum.Enum):
@@ -266,6 +268,31 @@ class RunConfig:
     # set is negligible there; at simulation scale it can dominate, and
     # this switch isolates the steady-state protocol comparison.
     warm_start: bool = False
+    # --- Scaling past the paper (PR 7) -------------------------------
+    # All three knobs default to ``None`` = automatic: at <= 32
+    # processors (the paper's machine) the automatic policy selects the
+    # exact legacy behaviour, keeping every golden bit-identical; above
+    # 32 it switches to the scalable structures.  Setting a value
+    # explicitly forces that structure at any processor count (that is
+    # how the equivalence tests compare hierarchical vs flat at 8p).
+    # All three change simulated results when active, so their resolved
+    # values enter the result-cache key.
+    #
+    # Barrier fan-in: Cashmere's MC tree barrier arity (2 is the legacy
+    # tree), and the group size of the LRC hierarchical group-leader
+    # barrier (None picks ~sqrt(nprocs) groups above 32 processors;
+    # <= 32 stays with the paper's flat single-manager barrier).
+    barrier_fanin: Optional[int] = None
+    # Cashmere directory shards: page-interleaved directory segments,
+    # each anchored at a home node that receives *unicast* directory
+    # updates instead of the legacy all-node broadcast.  None = 1 shard
+    # (legacy broadcast) at <= 32 processors, one shard per node above.
+    dir_shards: Optional[int] = None
+    # Per-node page-copy budget: the maximum number of remote page
+    # copies a node keeps before cold copies are evicted (invalidated)
+    # at release points.  None = unlimited (the paper's machines never
+    # paged).  Changes simulated results when it actually evicts.
+    node_mem_pages: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.network not in NETWORK_BACKENDS:
@@ -281,6 +308,43 @@ class RunConfig:
                 f"{self.compute_cpus_available} compute CPUs available "
                 f"for {self.variant.name}"
             )
+        if self.barrier_fanin is not None and self.barrier_fanin < 2:
+            raise ValueError("barrier_fanin must be >= 2")
+        if self.dir_shards is not None and self.dir_shards < 1:
+            raise ValueError("dir_shards must be >= 1")
+        if self.node_mem_pages is not None and self.node_mem_pages < 1:
+            raise ValueError("node_mem_pages must be >= 1")
+
+    # -- scaling policy (PR 7) -----------------------------------------
+
+    @property
+    def resolved_barrier_fanin(self) -> int:
+        """Cashmere tree-barrier arity: 2 is the paper's legacy tree
+        (exact legacy cost formula), the automatic policy widens to 4
+        above 32 processors (lower total depth x per-level cost)."""
+        if self.barrier_fanin is not None:
+            return self.barrier_fanin
+        return 2 if self.nprocs <= 32 else 4
+
+    @property
+    def hierarchical_barriers(self) -> bool:
+        """Whether the LRC barrier runs the two-stage group-leader
+        scheme instead of the paper's flat single-manager round."""
+        return self.barrier_fanin is not None or self.nprocs > 32
+
+    @property
+    def lrc_barrier_group(self) -> int:
+        """Member count per group of the hierarchical LRC barrier."""
+        if self.barrier_fanin is not None:
+            return max(2, self.barrier_fanin)
+        return max(2, math.isqrt(max(self.nprocs - 1, 1)) + 1)
+
+    @property
+    def resolved_dir_shards(self) -> int:
+        """Cashmere directory shard count (1 = legacy broadcast)."""
+        if self.dir_shards is not None:
+            return self.dir_shards
+        return 1 if self.nprocs <= 32 else self.cluster.n_nodes
 
     @property
     def compute_cpus_available(self) -> int:

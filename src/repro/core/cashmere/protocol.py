@@ -56,6 +56,11 @@ class ProcState:
     nle: NoticeList = field(default_factory=NoticeList)
     dirty: list = field(default_factory=list)
     flush_due: float = 0.0  # write-through drain deadline
+    # Last fault-time per page (memory-pressure eviction, PR 7): only
+    # maintained when ``node_mem_pages`` is set — a "cold" copy is the
+    # one whose last *fault* is oldest (hot hits are event-free and are
+    # deliberately not instrumented).
+    touch: Dict[int, float] = field(default_factory=dict)
 
 
 class CashmereProtocol(DsmProtocol):
@@ -80,8 +85,27 @@ class CashmereProtocol(DsmProtocol):
         self.cfg = run_cfg
         self.costs = run_cfg.costs
         self.cache = CacheModel(self.costs)
-        self.directory = Directory()
-        self.sync = SyncTable(engine, network, self.costs, cluster.nprocs)
+        n_shards = run_cfg.resolved_dir_shards
+        self.directory = Directory(n_shards)
+        # Shard-home map (PR 7): shard s is anchored at the s-th active
+        # node (round-robin).  None = legacy replicated directory with
+        # broadcast updates.
+        if n_shards > 1:
+            active = [n.nid for n in cluster.nodes if n.processors]
+            self._shard_homes: Optional[list] = [
+                active[s % len(active)] for s in range(n_shards)
+            ]
+        else:
+            self._shard_homes = None
+        # Per-node page-copy budget (PR 7): None = unlimited.
+        self._mem_limit = run_cfg.node_mem_pages
+        self.sync = SyncTable(
+            engine,
+            network,
+            self.costs,
+            cluster.nprocs,
+            run_cfg.resolved_barrier_fanin,
+        )
         self.procs: Dict[int, ProcState] = {
             p.pid: ProcState() for p in cluster.procs
         }
@@ -215,11 +239,29 @@ class CashmereProtocol(DsmProtocol):
     # directory cost helpers
     # ------------------------------------------------------------------
 
-    def _dir_update(self, proc: Processor, locked: bool = False) -> Generator:
-        """Modify a directory word locally and broadcast the update."""
+    def _dir_update(
+        self, proc: Processor, locked: bool = False, page: int = -1
+    ) -> Generator:
+        """Modify a directory word and propagate the update.
+
+        Legacy (unsharded) directory: the word is replicated on every
+        node, so the update is broadcast.  Sharded directory (PR 7):
+        the authoritative word lives only at the page's shard-home
+        node, so the update is one unicast there — the same single hub
+        crossing on the Memory Channel, but one transfer instead of
+        ``n_nodes - 1`` on point-to-point fabrics.
+        """
         cost = self.costs.dir_modify_locked if locked else self.costs.dir_modify
         yield from proc.busy(cost, Category.PROTOCOL)
-        self.network.write(proc.node.nid, 8, broadcast=True)
+        homes = self._shard_homes
+        if homes is None or page < 0:
+            self.network.write(proc.node.nid, 8, broadcast=True)
+        else:
+            self.network.write(
+                proc.node.nid,
+                8,
+                dst_node=homes[self.directory.shard(page)],
+            )
 
     # ------------------------------------------------------------------
     # faults
@@ -252,7 +294,7 @@ class CashmereProtocol(DsmProtocol):
             # weak state; no per-interval bookkeeping after that.
             if not dir_entry.weak:
                 dir_entry.weak = True
-                yield from self._dir_update(proc)
+                yield from self._dir_update(proc, page=page)
         elif dir_entry.exclusive_holder != proc.pid:
             state.dirty.append(page)
         self._set_perm(proc.pid, page, entry, Protection.READ_WRITE)
@@ -265,7 +307,9 @@ class CashmereProtocol(DsmProtocol):
         the home if needed, break exclusivity, and obtain the data."""
         dir_entry = self.directory.entry(page)
         dir_entry.sharers.add(proc.pid)
-        yield from self._dir_update(proc)
+        if self._mem_limit is not None:
+            self.procs[proc.pid].touch[page] = self.engine.now
+        yield from self._dir_update(proc, page=page)
         if not dir_entry.home_assigned:
             yield from self._assign_home(proc, dir_entry)
         holder = dir_entry.exclusive_holder
@@ -279,7 +323,7 @@ class CashmereProtocol(DsmProtocol):
                 self.network.write(
                     proc.node.nid, self.costs.write_notice_bytes
                 )
-            yield from self._dir_update(proc)
+            yield from self._dir_update(proc, page=page)
         yield from self._fetch_data(proc, page, entry, dir_entry)
 
     def _assign_home(
@@ -298,7 +342,7 @@ class CashmereProtocol(DsmProtocol):
         dir_entry.home_from_first_touch = first_touch
         self.trace(proc, "home_assigned", page=dir_entry.page, home=home)
         # Asserting home ownership takes the directory entry lock.
-        yield from self._dir_update(proc, locked=True)
+        yield from self._dir_update(proc, locked=True, page=dir_entry.page)
         self._master_page(dir_entry.page)
 
     def _fetch_data(
@@ -500,7 +544,7 @@ class CashmereProtocol(DsmProtocol):
         if not others and may_go_exclusive:
             dir_entry.exclusive_holder = proc.pid
             self.trace(proc, "exclusive_enter", page=page)
-            yield from self._dir_update(proc)
+            yield from self._dir_update(proc, page=page)
             return  # keeps read/write permission: no more faults/notices
         for other in sorted(others):
             yield from proc.busy(self.costs.lock_mc, Category.PROTOCOL)
@@ -527,14 +571,14 @@ class CashmereProtocol(DsmProtocol):
                 if not dir_entry.weak:
                     continue
                 dir_entry.sharers.discard(proc.pid)
-                yield from self._dir_update(proc)
+                yield from self._dir_update(proc, page=page)
                 self._set_perm(proc.pid, page, entry, Protection.NONE)
                 yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
             return
         for page in list(state.write_notices.drain()):
             dir_entry = self.directory.entry(page)
             dir_entry.sharers.discard(proc.pid)
-            yield from self._dir_update(proc)
+            yield from self._dir_update(proc, page=page)
             entry = self._entry(proc.pid, page)
             if entry.perm is not Protection.NONE:
                 self._set_perm(proc.pid, page, entry, Protection.NONE)
@@ -558,6 +602,65 @@ class CashmereProtocol(DsmProtocol):
         self.trace(proc, "barrier_arrive", barrier=barrier_id)
         yield from self.sync.barrier(barrier_id).arrive_and_wait(proc)
         yield from self._process_acquire(proc)
+        if self._mem_limit is not None:
+            yield from self._evict_cold_copies(proc)
+
+    # ------------------------------------------------------------------
+    # memory pressure (PR 7)
+    # ------------------------------------------------------------------
+
+    def _node_copy_pages(self, nid: int):
+        """(pid, page, last_touch) of every resident remote copy held
+        by the node's processors (home-mapped pages occupy no frame)."""
+        resident = []
+        for peer in self.cluster.nodes[nid].processors:
+            touch = self.procs[peer.pid].touch
+            for page, entry in self.entries[peer.pid].items():
+                if entry.perm is Protection.NONE or entry.copy is None:
+                    continue
+                resident.append((peer.pid, page, touch.get(page, 0.0)))
+        return resident
+
+    def _evict_cold_copies(self, proc: Processor) -> Generator:
+        """Enforce the per-node page-copy budget at a barrier.
+
+        The paper's machines never paged, so the legacy simulator keeps
+        every copy forever; at 256+ processors with full-size inputs
+        the aggregate copy footprint would exceed any real node.  With
+        ``node_mem_pages`` set, each processor leaving a barrier checks
+        its node's residency and drops its own **coldest** read-only
+        copies (oldest last fault first; exclusive and writable pages
+        are pinned — they are the working set) until the node fits.
+        Each eviction is a normal unmap: leave the sharing set, post
+        the directory update, mprotect to NONE — so later re-reads
+        fault and re-fetch, exactly like a first touch.
+        """
+        resident = self._node_copy_pages(proc.node.nid)
+        excess = len(resident) - self._mem_limit
+        if excess <= 0:
+            return
+        pid = proc.pid
+        table = self.entries[pid]
+        mine = sorted(
+            (
+                (when, page)
+                for owner, page, when in resident
+                if owner == pid
+                and table[page].perm is Protection.READ
+            ),
+        )
+        state = self.procs[pid]
+        for when, page in mine[:excess]:
+            entry = table[page]
+            dir_entry = self.directory.entry(page)
+            dir_entry.sharers.discard(pid)
+            yield from self._dir_update(proc, page=page)
+            self._set_perm(pid, page, entry, Protection.NONE)
+            entry.copy = None  # release the frame
+            state.touch.pop(page, None)
+            proc.bump("copy_evictions")
+            self.trace(proc, "evict", page=page)
+            yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def flag_set(self, proc: Processor, flag_id: int) -> Generator:
         yield from self._process_release(proc)

@@ -8,7 +8,6 @@ are single MC words observed via broadcast.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
@@ -63,7 +62,16 @@ class McLock:
 
 
 class TreeBarrier:
-    """Tree barrier: children notify parents, root broadcasts release."""
+    """Tree barrier: children notify parents, root broadcasts release.
+
+    ``fan_in`` is the tree arity.  The paper's implementation uses a
+    binary tree (``fan_in=2``); wider trees trade more per-level flag
+    checks (each parent spins over ``fan_in`` arrival words) for fewer
+    levels, which wins past the paper's 32 processors — the automatic
+    policy in :attr:`repro.config.RunConfig.resolved_barrier_fanin`
+    picks 4 there.  At ``fan_in=2`` the cost formula reduces exactly
+    to the legacy binary-tree expression, keeping goldens intact.
+    """
 
     def __init__(
         self,
@@ -71,11 +79,23 @@ class TreeBarrier:
         network: MemoryChannel,
         costs: CostModel,
         nprocs: int,
+        fan_in: int = 2,
     ):
+        if fan_in < 2:
+            raise ValueError("tree barrier fan-in must be >= 2")
         self.engine = engine
         self.network = network
         self.costs = costs
         self.nprocs = nprocs
+        self.fan_in = fan_in
+        # Tree depth: smallest d with fan_in**d >= nprocs (integer
+        # arithmetic — bit-exact with the legacy ceil(log2) at arity 2).
+        depth = 1
+        width = fan_in
+        while width < max(nprocs, 2):
+            width *= fan_in
+            depth += 1
+        self._depth = depth
         self._arrived = 0
         self._release: Event = engine.event()
         self._episode = 0
@@ -90,11 +110,12 @@ class TreeBarrier:
         if self._arrived == self.nprocs:
             # Last arrival: notifications percolate up the tree (each
             # parent spins on its children's arrival words, costing a
-            # round of MC latency plus the flag checks per level), then
-            # the root's release word is broadcast back down.
-            depth = max(1, math.ceil(math.log2(max(self.nprocs, 2))))
-            per_level = 2.0 * (self.costs.mc_latency + 1.0) + 8.0
-            fan_in = depth * per_level
+            # round of MC latency plus one flag check per child per
+            # level), then the root's release word is broadcast down.
+            per_level = (
+                2.0 * (self.costs.mc_latency + 1.0) + 4.0 * self.fan_in
+            )
+            fan_in = self._depth * per_level
             fan_out = self.costs.mc_latency + 2.0
             done_at = self.engine.now + fan_in + fan_out
             self._arrived = 0
@@ -134,11 +155,13 @@ class SyncTable:
         network: MemoryChannel,
         costs: CostModel,
         nprocs: int,
+        barrier_fanin: int = 2,
     ):
         self.engine = engine
         self.network = network
         self.costs = costs
         self.nprocs = nprocs
+        self.barrier_fanin = barrier_fanin
         self.locks: Dict[int, McLock] = {}
         self.barriers: Dict[int, TreeBarrier] = {}
         self.flags: Dict[int, McFlag] = {}
@@ -154,7 +177,11 @@ class SyncTable:
         found = self.barriers.get(barrier_id)
         if found is None:
             found = TreeBarrier(
-                self.engine, self.network, self.costs, self.nprocs
+                self.engine,
+                self.network,
+                self.costs,
+                self.nprocs,
+                self.barrier_fanin,
             )
             self.barriers[barrier_id] = found
         return found

@@ -34,6 +34,7 @@ from repro.stats import Category, StatsBoard
 
 LOCK_ACQUIRE = "lrc_lock_acquire"
 BARRIER_ARRIVE = "lrc_barrier_arrive"
+BARRIER_GROUP = "lrc_barrier_group"  # leader -> root combined arrival
 FLAG_WAIT = "lrc_flag_wait"
 
 # Garbage collection of consistency records triggers at the next barrier
@@ -125,7 +126,26 @@ class LrcProtocolBase(DsmProtocol):
             p.pid: self._make_proc_state() for p in cluster.procs
         }
         self.lock_last_owner: Dict[int, int] = {}
-        self.barriers: Dict[int, BarrierState] = {}
+        self.barriers: Dict = {}  # barrier_id (flat) or hier key -> state
+        # Hierarchical group-leader barrier topology (PR 7): above the
+        # paper's 32 processors (or whenever ``barrier_fanin`` is set)
+        # ranks are partitioned into contiguous groups; members arrive
+        # at their group leader, leaders forward one combined arrival
+        # to the root (rank 0), and releases fan back out the same way.
+        # ``None`` keeps the paper's flat single-manager barrier.
+        self._bleader: Optional[List[int]] = None
+        self._bgroup_members: Dict[int, int] = {}
+        self._bleaders: List[int] = []
+        if run_cfg.hierarchical_barriers and self.nprocs > 2:
+            size = min(run_cfg.lrc_barrier_group, self.nprocs)
+            self._bleader = [
+                (pid // size) * size for pid in range(self.nprocs)
+            ]
+            self._bleaders = list(range(0, self.nprocs, size))
+            for leader in self._bleaders:
+                self._bgroup_members[leader] = (
+                    min(leader + size, self.nprocs) - leader - 1
+                )
 
     # -- state construction (subclass hook) -----------------------------
 
@@ -526,7 +546,9 @@ class LrcProtocolBase(DsmProtocol):
                 yield from self._gc_flush(proc)
             return
         state = self._state(proc)
-        if proc.pid == 0:
+        if self._bleader is not None:
+            gc_round = yield from self._barrier_hier(proc, barrier_id)
+        elif proc.pid == 0:
             gc_round = yield from self._barrier_manager(proc, barrier_id)
         else:
             guess = state.manager_guess or (0,) * self.nprocs
@@ -571,11 +593,124 @@ class LrcProtocolBase(DsmProtocol):
             )
         return gc_round
 
+    def _barrier_hier(self, proc: Processor, barrier_id: int) -> Generator:
+        """Two-stage group-leader barrier (PR 7, > 32 processors).
+
+        Members arrive at their group leader exactly as flat arrivals
+        at the manager; each leader incorporates its group, forwards
+        one combined :data:`BARRIER_GROUP` arrival to the root, and
+        releases its members from its post-merge store.  The root (the
+        leader of group 0) plays the flat manager's role over group
+        leaders only, so no processor ever serializes more than
+        ``group + leaders`` replies — O(sqrt(P)) with the automatic
+        group size instead of the flat barrier's O(P) storm at rank 0.
+        """
+        state = self._state(proc)
+        pid = proc.pid
+        leader = self._bleader[pid]
+        if pid != leader:
+            # Member: indistinguishable from a flat arrival, aimed at
+            # the group leader instead of rank 0.
+            guess = state.manager_guess or (0,) * self.nprocs
+            records = state.store.records_after(guess)
+            reply = yield from self.messenger.request(
+                proc,
+                self.cluster.proc(leader),
+                BARRIER_ARRIVE,
+                payload=(barrier_id, tuple(state.vts), records),
+                size=self._records_size(records),
+            )
+            new_records, merged_vts, gc_round = reply
+            yield from self._incorporate(proc, new_records)
+            state.vts[:] = vts_max(state.vts, merged_vts)
+            state.manager_guess = merged_vts
+            return gc_round
+        # Leader: collect this group's arrivals.
+        arrivals: List[Request] = []
+        nmembers = self._bgroup_members[pid]
+        if nmembers:
+            key = (barrier_id, pid)
+            group = self._barrier_state(key)
+            yield from proc.wait(group.complete, Category.COMM_WAIT)
+            arrivals = group.arrivals
+            # Reset before replying: released members may re-arrive.
+            del self.barriers[key]
+            for request in arrivals:
+                _bid, _vts, records = request.payload
+                yield from self._incorporate(proc, records)
+        if pid == 0:
+            # Root: additionally collect the other group leaders.
+            leader_arrivals: List[Request] = []
+            nleaders = len(self._bleaders) - 1
+            if nleaders:
+                key = (barrier_id, "leaders")
+                stage = self._barrier_state(key)
+                yield from proc.wait(stage.complete, Category.COMM_WAIT)
+                leader_arrivals = stage.arrivals
+                del self.barriers[key]
+                for request in leader_arrivals:
+                    _bid, _vts, records = request.payload
+                    yield from self._incorporate(proc, records)
+            merged = tuple(state.vts)
+            gc_round = (
+                barrier_id != GC_BARRIER_ID
+                and state.store.record_count() > self.gc_record_threshold
+            )
+            for request in leader_arrivals:
+                _bid, arriver_vts, _records = request.payload
+                records = state.store.records_after(arriver_vts)
+                yield from self.messenger.reply(
+                    proc,
+                    request,
+                    payload=(records, merged, gc_round),
+                    size=self._records_size(records),
+                )
+            state.manager_guess = merged
+        else:
+            # Forward the combined group as one arrival at the root.
+            guess = state.manager_guess or (0,) * self.nprocs
+            records = state.store.records_after(guess)
+            reply = yield from self.messenger.request(
+                proc,
+                self.cluster.proc(0),
+                BARRIER_GROUP,
+                payload=(barrier_id, tuple(state.vts), records),
+                size=self._records_size(records),
+            )
+            new_records, merged, gc_round = reply
+            yield from self._incorporate(proc, new_records)
+            state.vts[:] = vts_max(state.vts, merged)
+            state.manager_guess = merged
+        # Release this group's members from the post-merge store.
+        for request in arrivals:
+            _bid, arriver_vts, _records = request.payload
+            records = state.store.records_after(arriver_vts)
+            yield from self.messenger.reply(
+                proc,
+                request,
+                payload=(records, merged, gc_round),
+                size=self._records_size(records),
+            )
+        return gc_round
+
     def _serve_barrier_arrive(self, proc: Processor, request: Request) -> None:
         barrier_id, _vts, _records = request.payload
-        barrier = self._barrier_state(barrier_id)
+        if self._bleader is not None:
+            key = (barrier_id, proc.pid)
+            expected = self._bgroup_members[proc.pid]
+        else:
+            key = barrier_id
+            expected = self.nprocs - 1
+        barrier = self._barrier_state(key)
         barrier.arrivals.append(request)
-        if len(barrier.arrivals) == self.nprocs - 1:
+        if len(barrier.arrivals) == expected:
+            barrier.complete.succeed()
+
+    def _serve_barrier_group(self, proc: Processor, request: Request) -> None:
+        barrier_id, _vts, _records = request.payload
+        barrier = self._barrier_state((barrier_id, "leaders"))
+        barrier.arrivals.append(request)
+        if len(barrier.arrivals) == len(self._bleaders) - 1:
             barrier.complete.succeed()
 
     # -- flags ------------------------------------------------------------------
@@ -662,6 +797,8 @@ class LrcProtocolBase(DsmProtocol):
             yield from self._serve_lock_acquire(proc, request)
         elif request.kind == BARRIER_ARRIVE:
             self._serve_barrier_arrive(proc, request)
+        elif request.kind == BARRIER_GROUP:
+            self._serve_barrier_group(proc, request)
         elif request.kind == FLAG_WAIT:
             yield from self._serve_flag_wait(proc, request)
         else:

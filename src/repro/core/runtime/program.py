@@ -215,11 +215,18 @@ def run_program(
         # fielding remote requests (polls/interrupts) while idle.
         proc = cluster.proc(rank)
         engine.process(
-            proc.serve_forever(), name=f"idle-p{rank}", daemon=True
+            proc.serve_forever(),
+            name=f"idle-p{rank}",
+            daemon=True,
+            shard=proc.node.nid,
         )
 
     for rank in range(run_cfg.nprocs):
-        engine.process(run_worker(rank), name=f"{program.name}-w{rank}")
+        engine.process(
+            run_worker(rank),
+            name=f"{program.name}-w{rank}",
+            shard=cluster.proc(rank).node.nid,
+        )
     engine.run()
     protocol.check_invariants()
     return RunResult(

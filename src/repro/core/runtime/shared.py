@@ -123,6 +123,61 @@ class Region:
         return self._pages
 
 
+class RowGather:
+    """Precomputed row-gather geometry for one ordered row list.
+
+    Gauss builds a fresh :meth:`SharedArray.region_row_gather` every
+    pivot step over a shrinking suffix of its cyclic rows with a
+    sliding column window — O(rows) bounds checks and byte arithmetic
+    per step.  A ``RowGather`` validates the row list and precomputes
+    each row's byte base **once**; :meth:`region` then assembles the
+    per-step region from the cached bases (the lu ``block_regions``
+    idiom, generalized to suffix/column-window reuse).
+    """
+
+    __slots__ = ("array", "rows", "_bases", "_item", "_stride")
+
+    def __init__(self, array: "SharedArray", rows: Sequence[int]):
+        if rows and not 0 <= min(rows) <= max(rows) < array.shape[0]:
+            raise IndexError(
+                f"row list {min(rows)}..{max(rows)} out of range"
+            )
+        self.array = array
+        self.rows = list(rows)
+        item = array._item
+        stride = array._stride
+        base = array._base
+        sbytes = stride * item
+        self._bases = [base + r * sbytes for r in self.rows]
+        self._item = item
+        self._stride = stride
+
+    def region(
+        self, start_idx: int, col0: int = 0, col1: Optional[int] = None
+    ) -> Region:
+        """Region over ``rows[start_idx:]`` restricted to columns
+        ``[col0, col1)`` — built from the cached byte bases."""
+        stride = self._stride
+        if col1 is None:
+            col1 = stride
+        if not 0 <= col0 <= col1 <= stride:
+            raise IndexError(
+                f"columns [{col0}, {col1}) outside row of {stride}"
+            )
+        item = self._item
+        off = col0 * item
+        width = col1 - col0
+        wbytes = width * item
+        bases = self._bases
+        count = len(bases) - start_idx
+        return Region._trusted(
+            self.array,
+            [(b + off, wbytes) for b in bases[start_idx:]],
+            count * width,
+            (count, width),
+        )
+
+
 class SharedArray:
     """An n-dimensional typed array living in DSM shared memory.
 
@@ -508,6 +563,10 @@ class SharedArray:
             len(rows) * width,
             (len(rows), width),
         )
+
+    def row_gather(self, rows: Sequence[int]) -> RowGather:
+        """Precompute gather geometry for ``rows``; see :class:`RowGather`."""
+        return RowGather(self, rows)
 
     def region_view(self, env, region: Region):
         """Hit-path read of a region: the data if every spanned page is

@@ -35,7 +35,7 @@ from typing import Any, Dict, Optional
 from repro.config import RunConfig
 
 #: Bump to invalidate every existing cache entry (result shape change).
-CACHE_SCHEMA = 2  # 2: network backend entered the run key
+CACHE_SCHEMA = 3  # 3: scaling knobs (fan-in/shards/mem) entered the run key
 
 _ENV_VAR = "REPRO_DSM_CACHE"
 
@@ -114,6 +114,16 @@ def run_key(
             "weak_state": cfg.weak_state,
             "warm_start": cfg.warm_start,
             "trace": cfg.trace,
+            # Scaling knobs (PR 7): keyed by their *resolved* values so
+            # an explicit setting and the automatic policy that picks
+            # the same value share an entry, while policy changes (or
+            # crossing the 32-processor threshold) never serve stale
+            # results.
+            "barrier_fanin": cfg.resolved_barrier_fanin,
+            "hierarchical_barriers": cfg.hierarchical_barriers,
+            "lrc_barrier_group": cfg.lrc_barrier_group,
+            "dir_shards": cfg.resolved_dir_shards,
+            "node_mem_pages": cfg.node_mem_pages,
         },
     }
     return _digest(payload)

@@ -42,8 +42,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
         default="small",
-        choices=("tiny", "small", "large"),
-        help="problem-size tier (see each app's default_params)",
+        choices=("tiny", "small", "large", "xlarge", "paper"),
+        help=(
+            "problem-size tier (see each app's default_params); "
+            "'paper' is an alias for xlarge, the paper's full-size "
+            "inputs — overnight territory, see EXPERIMENTS.md"
+        ),
     )
     parser.add_argument(
         "--cold-start",
@@ -128,6 +132,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--no-shard",
+        action="store_true",
+        help=(
+            "use the flat calendar queue instead of the sharded event "
+            "scheduler (bit-identical results, replaces "
+            "$REPRO_DSM_NO_SHARD; the A/B hatch for large-P wall-clock)"
+        ),
+    )
+    parser.add_argument(
         "--no-kernels",
         action="store_true",
         help=(
@@ -171,6 +184,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         debug_checks=args.debug_checks,
         no_calqueue=args.no_calqueue,
         no_kernels=args.no_kernels,
+        no_shard=args.no_shard,
         network=args.network,
     ).apply()
     return ExperimentContext(
@@ -275,6 +289,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render ASCII speedup charts (one per application, "
         "overlaying all backends)",
+    )
+
+    sc = sub.add_parser(
+        "scaling",
+        help="weak/strong scaling past the paper (64-1024 processors; "
+        "see EXPERIMENTS.md 'Scaling past the paper')",
+    )
+    _add_common(sc)
+    sc.add_argument(
+        "--mode",
+        default="weak",
+        choices=("weak", "strong"),
+        help="grow the problem with the machine (weak) or hold it "
+        "fixed (strong)",
+    )
+    sc.add_argument("--app", default="sor", choices=registry.APP_NAMES)
+    sc.add_argument(
+        "--counts",
+        nargs="+",
+        type=int,
+        help="processor counts (default 8 64 256; the first is the "
+        "reference point)",
+    )
+    sc.add_argument(
+        "--variants",
+        nargs="+",
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+        help="protocol variants (default: csm_poll tmk_mc_poll)",
+    )
+    sc.add_argument(
+        "--fanin",
+        type=int,
+        default=None,
+        metavar="K",
+        help="tree-barrier fan-in (default: auto — binary at <=32p, "
+        "4-ary past; CHANGES simulated results)",
+    )
+    sc.add_argument(
+        "--dir-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Cashmere directory shards (default: auto — replicated "
+        "at <=32p, one per node past; CHANGES simulated results on "
+        "point-to-point fabrics)",
+    )
+    sc.add_argument(
+        "--node-mem",
+        type=int,
+        default=None,
+        metavar="PAGES",
+        help="per-node memory-pressure limit: evict cold remote page "
+        "copies past PAGES resident pages (default: unlimited; "
+        "CHANGES simulated results)",
     )
 
     sw = sub.add_parser("sweep", help="network-sensitivity sweeps")
@@ -435,6 +503,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             kwargs = {"apps": args.apps, "nprocs": args.procs}
         elif args.command == "sweep":
             kwargs = {"knob": args.knob, "app": args.app, "nprocs": args.procs}
+        elif args.command == "scaling":
+            kwargs = {
+                "app": args.app,
+                "mode": args.mode,
+                "counts": args.counts,
+                "variants": _parse_variants(args.variants),
+            }
+            if args.fanin is not None:
+                kwargs["barrier_fanin"] = args.fanin
+            if args.dir_shards is not None:
+                kwargs["dir_shards"] = args.dir_shards
+            if args.node_mem is not None:
+                kwargs["node_mem_pages"] = args.node_mem
         elif args.command == "cross_era":
             kwargs = {
                 "apps": args.apps,

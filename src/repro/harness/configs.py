@@ -9,7 +9,8 @@ and 32: trivial, but not applicable to csm_pp."
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import replace
+from typing import List, Optional, Tuple
 
 from repro.config import ClusterConfig, Mechanism
 
@@ -27,9 +28,45 @@ PAPER_PLACEMENTS = {
 
 PAPER_PROCESSOR_COUNTS = (1, 2, 4, 8, 12, 16, 24, 32)
 
+#: Power-of-two sweep past the paper's 32-processor ceiling (PR 7).
+SCALING_PROCESSOR_COUNTS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
 
 def paper_processor_counts(max_procs: int = 32) -> Tuple[int, ...]:
     return tuple(n for n in PAPER_PROCESSOR_COUNTS if n <= max_procs)
+
+
+def scaling_processor_counts(max_procs: int = 256) -> Tuple[int, ...]:
+    return tuple(n for n in SCALING_PROCESSOR_COUNTS if n <= max_procs)
+
+
+def cluster_for(
+    nprocs: int,
+    base: Optional[ClusterConfig] = None,
+    mechanism: Optional[Mechanism] = None,
+) -> ClusterConfig:
+    """A cluster with room for ``nprocs``, grown from ``base`` if needed.
+
+    At or below the base capacity this returns ``base`` unchanged, so
+    every paper-range configuration keeps the eight-node AlphaServer
+    topology (and its goldens).  Past it, nodes are added while the
+    per-node CPU count, page size, and cache line stay fixed — the
+    cluster scales out, never up, matching how the era's (and today's)
+    installations grew.  ``mechanism=PROTOCOL_PROCESSOR`` reserves one
+    CPU per node for request service when sizing.
+    """
+    if nprocs < 1:
+        raise ValueError("need at least one processor")
+    base = base if base is not None else ClusterConfig()
+    compute_cpus = base.cpus_per_node
+    if mechanism is Mechanism.PROTOCOL_PROCESSOR:
+        compute_cpus -= 1
+    if compute_cpus < 1:
+        raise ValueError("no compute CPUs left on each node")
+    if nprocs <= base.n_nodes * compute_cpus:
+        return base
+    n_nodes = -(-nprocs // compute_cpus)  # ceil division
+    return replace(base, n_nodes=n_nodes)
 
 
 def placement(

@@ -25,7 +25,12 @@ class BatchPoint:
 
     ``variant=None`` requests the app's sequential (unlinked) baseline;
     ``costs=None`` uses the context's (app-adjusted) cost model — sweeps
-    pass explicit swept models.
+    pass explicit swept models.  ``params``/``cluster`` (both normally
+    None = the context's scale tier and cluster) let the scaling sweeps
+    grow the problem and the machine per point: weak scaling re-sizes
+    the input with the processor count, and counts past the base
+    cluster's capacity ride on clusters grown via
+    :func:`repro.harness.configs.cluster_for`.
     """
 
     app: str
@@ -33,6 +38,8 @@ class BatchPoint:
     nprocs: int = 1
     costs: Optional[CostModel] = None
     overrides: Tuple[Tuple[str, Any], ...] = ()
+    params: Optional[Tuple[Tuple[str, Any], ...]] = None
+    cluster: Optional[ClusterConfig] = None
 
 
 @dataclass
@@ -70,7 +77,7 @@ class ExperimentContext:
     counters: Dict[str, int] = field(default_factory=dict)
     breakdown_us: Dict[str, float] = field(default_factory=dict)
     runs_executed: int = 0
-    _sequential: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
+    _sequential: Dict[Tuple, RunResult] = field(default_factory=dict)
 
     def app(self, name: str):
         return registry.load(name)
@@ -131,7 +138,7 @@ class ExperimentContext:
 
         for spec, result in zip(specs, results):
             if spec.is_sequential:
-                self._sequential.setdefault((spec.app, self.scale), result)
+                self._sequential.setdefault(self._seq_memo_key(spec), result)
             elif spec.trace:
                 self.trace_runs.append(
                     TraceRun.from_result(result, scale=self.scale)
@@ -175,8 +182,11 @@ class ExperimentContext:
                 SEQUENTIAL if point.variant is None else point.variant.name
             ),
             nprocs=point.nprocs,
-            params=self.params(point.app),
-            cluster=self.cluster,
+            params=(
+                dict(point.params) if point.params is not None
+                else self.params(point.app)
+            ),
+            cluster=point.cluster if point.cluster is not None else self.cluster,
             costs=(
                 point.costs if point.costs is not None
                 else self.costs_for(point.app)
@@ -196,12 +206,16 @@ class ExperimentContext:
             )
         return run_key(spec.app, spec.params, spec.run_config())
 
+    def _seq_memo_key(self, spec: PointSpec) -> Tuple:
+        # Keyed by (app, exact params): the baseline never touches the
+        # network, so swept cost models share one baseline (contexts
+        # created by the sweep drivers share this dict), while scaling
+        # sweeps with per-point params get distinct baselines.
+        return (spec.app, tuple(sorted(spec.params.items())))
+
     def _lookup(self, spec: PointSpec, key: Optional[str]):
         if spec.is_sequential:
-            # Keyed by (app, scale) only: the baseline never touches the
-            # network, so swept cost models share one baseline (contexts
-            # created by the sweep drivers share this dict).
-            memo = self._sequential.get((spec.app, self.scale))
+            memo = self._sequential.get(self._seq_memo_key(spec))
             if memo is not None:
                 return memo
         if key is None:

@@ -1,0 +1,208 @@
+"""Weak- and strong-scaling sweeps past the paper's 32 processors.
+
+The paper's evaluation stops at the testbed's 32 CPUs; ROADMAP's top
+open item is to push the same protocols to 64-1024-processor clusters
+(PR 7).  This driver runs the two standard scaling disciplines:
+
+**Strong scaling** holds the problem fixed (the context's scale tier)
+and grows the machine; the reported metric is the speedup relative to
+the sweep's first processor count (ideal: ``nprocs / ref``).  Using the
+first point — not a sequential run — as the reference keeps xlarge
+sweeps feasible: a full-size sequential baseline would dwarf the sweep
+itself.
+
+**Weak scaling** grows the problem with the machine, holding the work
+per processor constant: the app's dominant linear dimension (rows for
+sor, graph nodes for em3d, ...) is scaled by ``nprocs / ref``.  The
+metric is parallel efficiency ``T(ref) / T(p)`` (ideal: 1.0); the
+distance below 1.0 is protocol overhead growing with the processor
+count — exactly the page-based-DSM scalability wall the sweep probes.
+
+Both metrics share one formula (``T(ref) / T(p)``); only the ideal
+differs.  Counts past the base cluster's 32 CPUs run on clusters grown
+node-by-node via :func:`repro.harness.configs.cluster_for`, and each
+point's cluster and parameters enter its result-cache key as usual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import CSM_POLL, TMK_MC_POLL, Variant
+from repro.harness.configs import cluster_for
+from repro.harness.runner import BatchPoint, ExperimentContext
+
+#: The app's dominant linear work dimension, scaled with the processor
+#: count under weak scaling.  Apps whose work is superlinear in one
+#: parameter (gauss/lu in n, tsp in cities) have no honest linear knob
+#: and support strong scaling only.
+WEAK_KNOBS = {
+    "sor": "rows",
+    "em3d": "n_nodes",
+    "ilink": "elems",
+    "water": "n_mols",
+    "barnes": "n_bodies",
+}
+
+#: Default sweep: the paper's top count, then 8x and 32x past it.
+DEFAULT_COUNTS = (8, 64, 256)
+
+MODES = ("weak", "strong")
+
+
+@dataclass
+class ScalePoint:
+    """One (processor count, variant) measurement of a scaling sweep."""
+
+    app: str
+    variant: str
+    mode: str
+    nprocs: int
+    exec_time: float  # simulated microseconds
+    metric: float  # T(ref)/T(p): efficiency (weak) or rel. speedup (strong)
+
+
+def weak_params(app: str, base: Dict, ref: int, nprocs: int) -> Dict:
+    """``base`` re-sized so per-processor work stays constant vs ``ref``."""
+    knob = WEAK_KNOBS.get(app)
+    if knob is None:
+        raise ValueError(
+            f"{app} has no linear work dimension; weak scaling supports "
+            f"{sorted(WEAK_KNOBS)} — use mode='strong'"
+        )
+    scaled = dict(base)
+    scaled[knob] = max(nprocs, round(base[knob] * nprocs / ref))
+    return scaled
+
+
+def sweep(
+    ctx: ExperimentContext,
+    app: str = "sor",
+    mode: str = "weak",
+    counts: Sequence[int] = DEFAULT_COUNTS,
+    variants: Optional[Sequence[Variant]] = None,
+    overrides: Optional[Dict] = None,
+) -> List[ScalePoint]:
+    """Run one scaling sweep; points come back count-major.
+
+    ``overrides`` (``barrier_fanin=8``, ``dir_shards=4``,
+    ``node_mem_pages=...``) apply to every point — the CLI's scaling
+    knobs ride through here and enter each point's cache key.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown scaling mode {mode!r}; known: {MODES}")
+    counts = sorted(set(counts))
+    if not counts:
+        raise ValueError("need at least one processor count")
+    variants = list(variants or (CSM_POLL, TMK_MC_POLL))
+    ref = counts[0]
+    base = ctx.params(app)
+    knobs = tuple(sorted((overrides or {}).items()))
+    batch = []
+    for nprocs in counts:
+        params = (
+            weak_params(app, base, ref, nprocs) if mode == "weak" else base
+        )
+        for variant in variants:
+            batch.append(
+                BatchPoint(
+                    app,
+                    variant,
+                    nprocs,
+                    overrides=knobs,
+                    params=tuple(sorted(params.items())),
+                    cluster=cluster_for(
+                        nprocs, ctx.cluster, variant.mechanism
+                    ),
+                )
+            )
+    results = ctx.run_batch(batch)
+    points: List[ScalePoint] = []
+    cursor = 0
+    ref_time: Dict[str, float] = {}
+    for nprocs in counts:
+        for variant in variants:
+            exec_time = results[cursor].exec_time
+            ref_time.setdefault(variant.name, exec_time)
+            points.append(
+                ScalePoint(
+                    app=app,
+                    variant=variant.name,
+                    mode=mode,
+                    nprocs=nprocs,
+                    exec_time=exec_time,
+                    metric=ref_time[variant.name] / exec_time,
+                )
+            )
+            cursor += 1
+    return points
+
+
+def render(points: List[ScalePoint]) -> str:
+    if not points:
+        return "(no points)"
+    mode = points[0].mode
+    metric_name = "efficiency" if mode == "weak" else "rel-speedup"
+    variants: List[str] = []
+    for point in points:
+        if point.variant not in variants:
+            variants.append(point.variant)
+    counts = sorted({p.nprocs for p in points})
+    header = f"{mode} scaling: {points[0].app} ({metric_name} vs {counts[0]}p)"
+    width = max(len(metric_name), 11)
+    lines = [header]
+    lines.append(
+        f"{'nprocs':>8}"
+        + "".join(f"{v:>16} {metric_name:>{width}}" for v in variants)
+    )
+    for nprocs in counts:
+        cells = []
+        for variant in variants:
+            match = next(
+                p
+                for p in points
+                if p.nprocs == nprocs and p.variant == variant
+            )
+            cells.append(
+                f"{match.exec_time / 1e6:>14.3f}s {match.metric:>{width}.3f}"
+            )
+        lines.append(f"{nprocs:>8}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def run(
+    ctx: ExperimentContext = None,
+    app: str = "sor",
+    mode: str = "weak",
+    counts: Optional[Sequence[int]] = None,
+    variants: Optional[Sequence[Variant]] = None,
+    **overrides,
+):
+    """Run one scaling sweep and wrap it in the common result envelope.
+
+    Extra keyword overrides (``barrier_fanin=8``, ``dir_shards=4``,
+    ``node_mem_pages=...``) apply to every point — the CLI's scaling
+    knobs ride through here.
+    """
+    from repro.harness import results
+
+    ctx = ctx or ExperimentContext()
+    counts = tuple(counts) if counts else DEFAULT_COUNTS
+    points = sweep(
+        ctx,
+        app=app,
+        mode=mode,
+        counts=counts,
+        variants=variants,
+        overrides=overrides or None,
+    )
+    text = render(points)
+    config = {
+        "app": app,
+        "mode": mode,
+        "counts": sorted(set(counts)),
+        "variants": sorted({p.variant for p in points}),
+        "overrides": dict(overrides),
+    }
+    return results.build("scaling", ctx, points, text, config)

@@ -36,6 +36,7 @@ _ENV_ALIASES = {
     "REPRO_DSM_DEBUG": ("debug_checks", True, "--debug-checks"),
     "REPRO_DSM_NO_CALQUEUE": ("calqueue", False, "--no-calqueue"),
     "REPRO_DSM_NO_KERNELS": ("kernels", False, "--no-kernels"),
+    "REPRO_DSM_NO_SHARD": ("shard", False, "--no-shard"),
 }
 
 _warned_vars = set()
@@ -74,6 +75,13 @@ class SimOptions:
         Vectorized application kernels over the bulk region API
         (PR 5).  Off restores the per-element scalar reference loops
         in every app — the A/B escape hatch for the kernel layer.
+    ``shard``
+        Sharded calendar queue in the simulation engine (PR 7): the
+        same-timestamp cascade ring, recycled bucket free list, and
+        batched bare-delay resume that keep large-P event storms O(1)
+        per entry.  Off restores the PR 4 flat calendar queue — the
+        A/B escape hatch for the sharded scheduler.  Only meaningful
+        when ``calqueue`` is on (the binary heap has no shards).
     ``network``
         Interconnect backend name (``memch``, ``rdma``, ``ethernet``;
         see docs/NETWORKS.md).  **Not** a wall-clock toggle: it changes
@@ -86,6 +94,7 @@ class SimOptions:
     debug_checks: bool = False
     calqueue: bool = True
     kernels: bool = True
+    shard: bool = True
     network: str = "memch"
 
     @classmethod
@@ -106,6 +115,7 @@ class SimOptions:
         debug_checks: bool = False,
         no_calqueue: bool = False,
         no_kernels: bool = False,
+        no_shard: bool = False,
         network: Optional[str] = None,
     ) -> "SimOptions":
         """Build options from CLI flag values, layered over the
@@ -119,6 +129,8 @@ class SimOptions:
             options = replace(options, calqueue=False)
         if no_kernels:
             options = replace(options, kernels=False)
+        if no_shard:
+            options = replace(options, shard=False)
         if network is not None:
             options = replace(options, network=network)
         return options

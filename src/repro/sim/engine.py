@@ -48,6 +48,38 @@ Two further allocation levers ride on the same switch:
 Escape hatch: ``SimOptions(calqueue=False)`` (CLI ``--no-calqueue``,
 deprecated alias ``REPRO_DSM_NO_CALQUEUE=1``) restores the plain binary
 heap and per-event allocation for A/B verification.
+
+PR 7 shards the calendar queue for 64–1024-processor clusters
+(``SimOptions(shard=True)``, the default; CLI ``--no-shard`` restores
+the PR 4 flat calendar queue for A/B verification):
+
+* **Same-timestamp cascade ring** (level 0) — entries scheduled for
+  exactly the current time during delivery (the second hop of every
+  bare delay, fire deliveries, interrupt posts, and the barrier wake
+  storms that grow O(P)) land in a plain ring list instead of opening
+  a fresh bucket: no heap round trip, no dict traffic, no allocation.
+  At 256 processors ~46% of all pushes ride this channel.
+* **Bucket free list** — drained per-timestamp buckets (and ring
+  batches) are recycled through a bounded pool, so the allocation in
+  ``_push_bucket`` (the last profiled engine lever) disappears.
+* **Small top-level time index** — with the cascade ring absorbing
+  every same-timestamp push, the top-level heap holds only *distinct
+  future* times, which stays small (~130 entries at 256 processors —
+  the simulated cluster's event horizon, not its event count).  An
+  epoch-sharded wheel over that heap was prototyped and measured
+  *slower* (the epoch indexing cost more than a heappush into a
+  ~100-entry heap saves), so the top level deliberately stays a flat
+  heap; the measurement lives in BENCH_PR7.json's design notes.
+
+Entries from different nodes at the same timestamp are **not**
+commutative (messenger queues are served in arrival order), so the
+shards preserve one global drain order — bit-identical simulated
+results in all three queue modes is the contract, enforced by the
+goldens.  What stays node-local is the accounting: processes carry a
+``shard`` tag (their node id), and :meth:`Engine.enable_shard_meter`
+turns on per-shard delivery meters (fired-event counts, last-delivery
+times) that the scaling invariant tests check — global time never
+moves backwards across shards.
 """
 
 from __future__ import annotations
@@ -79,6 +111,10 @@ _COMPACT_MIN_DEAD = 8
 #: Sentinel ``_waiting_on`` value while a process sleeps on a bare
 #: delay (no event object to register a callback with).
 _BUSY_WAIT = object()
+
+#: Sharded-queue tuning: bound on the recycled-list pool (drained
+#: buckets and cascade-ring batches are reused instead of reallocated).
+_POOL_MAX = 128
 
 
 def _succeed(event: "Event") -> None:
@@ -244,6 +280,7 @@ class Process(Event):
         "generator",
         "name",
         "daemon",
+        "shard",
         "_waiting_on",
         "_wait_cell",
         "_interrupt_pending",
@@ -257,11 +294,15 @@ class Process(Event):
         generator: Generator[Event, Any, Any],
         name: str = "proc",
         daemon: bool = False,
+        shard: int = 0,
     ):
         super().__init__(engine)
         self.generator = generator
         self.name = name
         self.daemon = daemon
+        #: Event-shard tag (the owning node id on cluster runs); only
+        #: read by the per-shard delivery meters, never by scheduling.
+        self.shard = shard
         self._waiting_on: Optional[Event] = None
         self._wait_cell: Optional[Cell] = None
         self._interrupt_pending: Optional[Interrupt] = None
@@ -376,6 +417,16 @@ class Process(Event):
         self._step_send(value)
 
 
+def _is_pure_delay(bucket: list, n: int) -> bool:
+    """True when every entry of the batch is a bare-delay first hop."""
+    i = 0
+    while i < n:
+        if bucket[i] is not _delay_fire:
+            return False
+        i += 2
+    return True
+
+
 def _delay_fire(pair) -> None:
     """First hop of a bare delay (the Timeout ``_succeed`` stand-in)."""
     proc = pair[0]
@@ -416,18 +467,34 @@ class Engine:
             options = _options_mod.current()
         self.now: float = 0.0
         self.calqueue: bool = bool(getattr(options, "calqueue", True))
+        self.sharded: bool = self.calqueue and bool(
+            getattr(options, "shard", True)
+        )
         # binary-heap state
         self._heap: List = []
         self._seq = 0
         # calendar-queue state
         self._times: List[float] = []
         self._buckets: dict = {}
+        # sharded-queue state: same-timestamp cascade ring and the
+        # recycled list pool (drained buckets and ring batches).
+        self._ring: List = []
+        self._list_pool: List[list] = []
+        #: Delivered (func, arg) entries, all queue modes — the
+        #: denominator of the wall-clock-per-simulated-event metric.
+        self.events_fired: int = 0
+        # per-shard delivery meters (None unless enabled by tests /
+        # the scaling smoke checks; see enable_shard_meter)
+        self._shard_meter: Optional[dict] = None
+        self._shard_violations: List = []
         self._processes: List[Process] = []
         # free lists for pooled events (calendar-queue mode only; the
         # escape hatch restores per-event allocation wholesale)
         self._timeout_pool: List[Timeout] = []
         self._anyof_pool: List[AnyOf] = []
-        if self.calqueue:
+        if self.sharded:
+            self._push = self._push_shard  # type: ignore[method-assign]
+        elif self.calqueue:
             self._push = self._push_bucket  # type: ignore[method-assign]
 
     # -- public construction helpers ----------------------------------
@@ -437,10 +504,29 @@ class Engine:
         generator: Generator[Event, Any, Any],
         name: str = "proc",
         daemon: bool = False,
+        shard: int = 0,
     ) -> Process:
-        proc = Process(self, generator, name, daemon)
+        proc = Process(self, generator, name, daemon, shard)
         self._processes.append(proc)
         return proc
+
+    def enable_shard_meter(self) -> dict:
+        """Turn on per-shard delivery meters (test instrumentation).
+
+        Returns the live meter dict: shard id -> ``[fired_count,
+        last_delivery_time]``.  A delivery at a time earlier than the
+        shard's last recorded delivery is appended to
+        :attr:`shard_violations` — the invariant the 256p scaling
+        smoke test checks is that this list stays empty (global time
+        never moves backwards across shards).
+        """
+        if self._shard_meter is None:
+            self._shard_meter = {}
+        return self._shard_meter
+
+    @property
+    def shard_violations(self) -> List:
+        return self._shard_violations
 
     def call_at(self, when: float, action: Callable[[], None]) -> None:
         """Run ``action`` at absolute sim time ``when``."""
@@ -501,7 +587,9 @@ class Engine:
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until no work remains (or ``until`` sim time); return now."""
-        if self.calqueue:
+        if self.sharded:
+            exhausted = self._run_shard(until)
+        elif self.calqueue:
             exhausted = self._run_calqueue(until)
         else:
             exhausted = self._run_heap(until)
@@ -528,6 +616,7 @@ class Engine:
             if when < self.now:
                 raise RuntimeError("event scheduled in the past")
             self.now = when
+            self.events_fired += 1
             func(arg)
         return True
 
@@ -565,12 +654,118 @@ class Engine:
                     # firing order either way; the detour is only an
                     # allocation/heap saving.)
                     if i == n and when not in buckets:
+                        self.events_fired += 1
                         _delay_resume(arg)
                     else:
                         _delay_fire(arg)
                 else:
                     func(arg)
+            self.events_fired += n >> 1
         return True
+
+    def _run_shard(self, until: Optional[float]) -> bool:
+        """The sharded scheduler: cascade ring over the bucketed heap.
+
+        Drain order is identical to :meth:`_run_calqueue`: the ring
+        holds exactly the entries that would have opened a fresh
+        bucket for the current time (drained next in push order), and
+        the heap yields the distinct future times in the same numeric
+        order either way.
+        """
+        times = self._times
+        buckets = self._buckets
+        pool = self._list_pool
+        pop = heapq.heappop
+        while True:
+            batch = self._ring
+            if batch:
+                # Cascade entries at self.now: detach the ring (fresh
+                # pushes during delivery open the next one) and drain.
+                self._ring = pool.pop() if pool else []
+            else:
+                if not times:
+                    return True
+                when = times[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return False
+                if when < self.now:
+                    raise RuntimeError("event scheduled in the past")
+                pop(times)
+                self.now = when
+                batch = buckets.pop(when)
+            n = len(batch)
+            if self._shard_meter is not None:
+                self.events_fired += n >> 1
+                self._deliver_metered(batch)
+            elif not self._ring and _is_pure_delay(batch, n):
+                # Whole-batch resume: every entry is a bare-delay first
+                # hop and the ring is empty, so the original schedule is
+                # provably [fire1..fireK][resume1..resumeK] with the
+                # fires side-effect-free (they only push their resume,
+                # token permitting; tokens never regress, so checking
+                # once at resume time gives the same outcome).  Deliver
+                # the resumes directly in push order — this turns the
+                # O(P) barrier/compute wake storms at large P into one
+                # pass with no second queue hop at all.
+                self.events_fired += n  # fires + their direct resumes
+                i = 1
+                while i < n:
+                    _delay_resume(batch[i])
+                    i += 2
+            else:
+                self.events_fired += n >> 1
+                i = 0
+                while i < n:
+                    func = batch[i]
+                    arg = batch[i + 1]
+                    i += 2
+                    if func is _delay_fire:
+                        # Same inline-resume saving as _run_calqueue:
+                        # when this bare-delay fire is the last entry
+                        # of the batch and the cascade ring is empty,
+                        # its resume is provably the next entry to run
+                        # — deliver it without the ring detour.
+                        if i == n and not self._ring:
+                            self.events_fired += 1
+                            _delay_resume(arg)
+                        else:
+                            _delay_fire(arg)
+                    else:
+                        func(arg)
+            if len(pool) < _POOL_MAX:
+                batch.clear()
+                pool.append(batch)
+
+    def _deliver_metered(self, bucket: list) -> None:
+        """The shard-metered drain (test instrumentation path only)."""
+        n = len(bucket)
+        i = 0
+        while i < n:
+            func = bucket[i]
+            arg = bucket[i + 1]
+            i += 2
+            self._meter_entry(arg)
+            if func is _delay_fire:
+                if i == n and not self._ring:
+                    _delay_resume(arg)
+                else:
+                    _delay_fire(arg)
+            else:
+                func(arg)
+
+    def _meter_entry(self, arg: Any) -> None:
+        obj = arg[0] if type(arg) is tuple else arg
+        shard = getattr(obj, "shard", 0)
+        meter = self._shard_meter
+        rec = meter.get(shard)
+        if rec is None:
+            meter[shard] = [1, self.now]
+        else:
+            if self.now < rec[1]:
+                self._shard_violations.append((shard, rec[1], self.now))
+            rec[0] += 1
+            rec[1] = self.now
 
     # -- internals -----------------------------------------------------
 
@@ -588,3 +783,30 @@ class Engine:
         else:
             bucket.append(func)
             bucket.append(arg)
+
+    def _push_shard(
+        self, when: float, func: Callable[[Any], None], arg: Any
+    ) -> None:
+        if when == self.now:
+            # Same-timestamp cascade: stays in the ring, drained next
+            # in push order — never touches the heap or the buckets.
+            ring = self._ring
+            ring.append(func)
+            ring.append(arg)
+            return
+        bucket = self._buckets.get(when)
+        if bucket is not None:
+            bucket.append(func)
+            bucket.append(arg)
+            return
+        # First entry at this exact future time: index it in the heap
+        # of distinct times, reusing a drained list when one is free.
+        heapq.heappush(self._times, when)
+        pool = self._list_pool
+        if pool:
+            bucket = pool.pop()
+            bucket.append(func)
+            bucket.append(arg)
+            self._buckets[when] = bucket
+        else:
+            self._buckets[when] = [func, arg]

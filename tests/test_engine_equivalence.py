@@ -7,8 +7,10 @@ require *exact* equality — the optimizations must change wall-clock
 time only, never a single simulated microsecond or counter.
 
 The goldens predate the shared-access fast path and the calendar-queue
-engine, so every case runs four ways — fast path on/off crossed with
-calendar-queue/heap scheduling — proving every mode reproduces the
+engine, so every case runs with fast path on/off crossed with the three
+scheduler modes — the sharded calendar queue (the default), the
+unsharded calendar queue (``--no-shard``), and the binary heap
+(``--no-calqueue``) — proving every mode reproduces the
 pre-optimization simulated results exactly.  Runs go through the
 public ``repro.api`` facade, so the goldens also pin its behaviour.
 
@@ -45,10 +47,18 @@ def _run(golden):
     )
 
 
-@pytest.fixture(params=[True, False], ids=["calqueue", "heap"])
+@pytest.fixture(params=["calqueue", "noshard", "heap"])
 def queue_mode(request):
+    # "noshard" is the sharded scheduler's escape hatch (--no-shard):
+    # still the calendar queue, but without the per-shard cascade ring.
+    # The heap ignores the shard flag entirely, so three modes cover
+    # the whole scheduler matrix.
     saved = options_mod.current()
-    replace(saved, calqueue=request.param).apply()
+    replace(
+        saved,
+        calqueue=request.param != "heap",
+        shard=request.param == "calqueue",
+    ).apply()
     yield request.param
     saved.apply()
 

@@ -1,0 +1,298 @@
+"""Scaling past the paper (PR 7): barriers, directories, big clusters.
+
+The scaling work promises three kinds of safety:
+
+* **Equivalence anchors** — configurations where the new machinery must
+  be *bit-identical* to the legacy path: a degenerate one-group barrier
+  hierarchy (``barrier_fanin == nprocs`` under LRC), the Cashmere
+  hierarchy at the legacy fan-in, and directory sharding on the
+  reflective memory-channel backend (where broadcast and unicast meet
+  the same hub).
+* **Values equivalence** — knobs that legitimately re-time the run
+  (fan-in choices at 64p, directory sharding on rdma) must still
+  compute the same answer.
+* **Global-time monotonicity** — the sharded scheduler must never
+  deliver an event at a time earlier than a shard has already seen;
+  checked both on a full 256-processor application run and with
+  randomized raw-engine schedules (hypothesis).
+
+Plus unit coverage of the supporting cast: ``cluster_for`` growth, the
+resolved ``RunConfig`` knobs, and the weak/strong scaling driver.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro import options as options_mod
+from repro.config import (
+    CSM_POLL,
+    CSM_PP,
+    HLRC_POLL,
+    TMK_MC_POLL,
+    ClusterConfig,
+    Mechanism,
+    RunConfig,
+)
+from repro.core import run_program
+from repro.core.runtime import program as program_mod
+from repro.harness import scaling
+from repro.harness.configs import cluster_for
+from repro.harness.runner import ExperimentContext
+from repro.sim import Engine
+from tests.helpers import values_match
+
+TINY_SOR = dict(rows=24, cols=32, iters=4)
+
+
+def _assert_bit_identical(a, b):
+    assert a.exec_time == b.exec_time
+    assert a.network_bytes == b.network_bytes
+    assert a.stats.aggregate_counters() == b.stats.aggregate_counters()
+
+
+def _assert_values_equal(a, b):
+    assert len(a.values) == len(b.values)
+    for x, y in zip(a.values, b.values):
+        if x is None and y is None:
+            continue
+        assert values_match(x, y)
+
+
+# -- equivalence anchors (bit-identical) -------------------------------
+
+
+@pytest.mark.parametrize(
+    "variant", [TMK_MC_POLL, HLRC_POLL], ids=lambda v: v.name
+)
+def test_degenerate_lrc_hierarchy_is_bit_identical(variant):
+    """``barrier_fanin == nprocs`` puts every processor in one group:
+    the hierarchical LRC barrier must reproduce the flat one exactly."""
+    flat = api.run_point("sor", variant, 8, scale="tiny")
+    one_group = api.run_point("sor", variant, 8, scale="tiny", barrier_fanin=8)
+    _assert_bit_identical(flat, one_group)
+    _assert_values_equal(flat, one_group)
+
+
+def test_cashmere_legacy_fanin_is_bit_identical():
+    """At <= 32p the Cashmere tree defaults to the legacy fan-in of 2;
+    asking for it explicitly must change nothing."""
+    default = api.run_point("sor", CSM_POLL, 8, scale="tiny")
+    explicit = api.run_point("sor", CSM_POLL, 8, scale="tiny", barrier_fanin=2)
+    _assert_bit_identical(default, explicit)
+
+
+def test_dir_sharding_on_memch_is_bit_identical():
+    """On the reflective memory channel every directory message meets
+    the same hub, so sharding the directory re-homes metadata without
+    changing a single simulated microsecond."""
+    single = api.run_point("sor", CSM_POLL, 8, scale="tiny")
+    sharded = api.run_point("sor", CSM_POLL, 8, scale="tiny", dir_shards=4)
+    _assert_bit_identical(single, sharded)
+    _assert_values_equal(single, sharded)
+
+
+# -- values equivalence (timing may legitimately differ) ----------------
+
+
+@pytest.mark.parametrize("fanin", [2, 8])
+def test_64p_fanin_choices_compute_identical_values(fanin):
+    params = scaling.weak_params("sor", TINY_SOR, 8, 64)
+    default = api.run_point("sor", CSM_POLL, 64, params=params)
+    tuned = api.run_point(
+        "sor", CSM_POLL, 64, params=params, barrier_fanin=fanin
+    )
+    _assert_values_equal(default, tuned)
+
+
+def test_dir_sharding_on_rdma_computes_identical_values():
+    """rdma routes directory traffic point-to-point, so sharding
+    changes message homes (and hence timing) — never the answer."""
+    single = api.run_point("sor", CSM_POLL, 8, scale="tiny", network="rdma")
+    sharded = api.run_point(
+        "sor", CSM_POLL, 8, scale="tiny", network="rdma", dir_shards=4
+    )
+    _assert_values_equal(single, sharded)
+    assert single.exec_time > 0 and sharded.exec_time > 0
+
+
+# -- global-time monotonicity across shards -----------------------------
+
+
+def test_256p_run_never_moves_time_backwards(monkeypatch):
+    """A full 256-processor weak-scaled sor run on the sharded engine:
+    deliveries within every shard must be time-monotonic."""
+    captured = {}
+    real_build = program_mod.build_system
+
+    def spying_build(cfg, **kwargs):
+        system = real_build(cfg, **kwargs)
+        captured["engine"] = system.engine
+        system.engine.enable_shard_meter()
+        return system
+
+    monkeypatch.setattr(program_mod, "build_system", spying_build)
+
+    from repro.apps import sor
+
+    params = scaling.weak_params("sor", TINY_SOR, 8, 256)
+    cfg = RunConfig(
+        variant=CSM_POLL, nprocs=256, cluster=cluster_for(256)
+    )
+    result = run_program(sor.program(), cfg, params)
+
+    engine = captured["engine"]
+    assert engine.sharded
+    meter = engine.enable_shard_meter()
+    active = [s for s, (fired, _last) in meter.items() if fired]
+    assert len(active) >= 2, "a 64-node run must exercise many shards"
+    assert engine.shard_violations == []
+    assert result.exec_time > 0
+
+
+DELAYS = (0.0, 0.5, 1.0, 1.0, 2.0, 3.0)
+
+
+@st.composite
+def _sharded_schedules(draw):
+    n_shards = draw(st.integers(min_value=2, max_value=4))
+    nprocs = draw(st.integers(min_value=2, max_value=6))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=n_shards - 1)),
+            draw(st.lists(st.sampled_from(DELAYS), min_size=1, max_size=6)),
+        )
+        for _ in range(nprocs)
+    ]
+
+
+def _trace(sharded: bool, schedules):
+    """Resume log (time, pid, step) for one schedule, plus the engine."""
+    if sharded:
+        opts = replace(options_mod.current(), calqueue=True, shard=True)
+    else:
+        opts = replace(options_mod.current(), calqueue=False)
+    engine = Engine(opts)
+    engine.enable_shard_meter()
+    log = []
+
+    def worker(pid, delays):
+        for i, delay in enumerate(delays):
+            yield float(delay)
+            log.append((engine.now, pid, i))
+
+    for pid, (shard, delays) in enumerate(schedules):
+        engine.process(worker(pid, delays), name=f"p{pid}", shard=shard)
+    engine.run()
+    return log, engine
+
+
+@given(_sharded_schedules())
+@settings(max_examples=60, deadline=None)
+def test_random_sharded_schedules_are_monotonic_and_heap_identical(
+    schedules,
+):
+    sharded_log, engine = _trace(True, schedules)
+    assert engine.sharded
+    assert engine.shard_violations == []
+    heap_log, _heap_engine = _trace(False, schedules)
+    assert sharded_log == heap_log
+
+
+# -- supporting cast: cluster growth, knob resolution, the driver -------
+
+
+def test_cluster_for_keeps_base_when_it_fits():
+    base = ClusterConfig()
+    assert cluster_for(8) is not cluster_for(8, base)
+    assert cluster_for(32, base) is base
+    assert cluster_for(8, base, Mechanism.POLL) is base
+
+
+def test_cluster_for_grows_nodes_never_cpus():
+    base = ClusterConfig()
+    grown = cluster_for(256, base)
+    assert grown.cpus_per_node == base.cpus_per_node
+    assert grown.n_nodes == 64
+    # Protocol-processor variants lose one CPU per node to the protocol.
+    pp = cluster_for(256, base, Mechanism.PROTOCOL_PROCESSOR)
+    assert pp.n_nodes == -(-256 // (base.cpus_per_node - 1))
+
+
+def test_run_point_auto_grows_cluster_past_32():
+    result = api.run_point(
+        "sor", CSM_PP, 64, params=scaling.weak_params("sor", TINY_SOR, 8, 64)
+    )
+    cluster = result.config.cluster
+    assert cluster.cpus_per_node == ClusterConfig().cpus_per_node
+    assert cluster.n_nodes * (cluster.cpus_per_node - 1) >= 64
+
+
+def test_resolved_knobs_default_to_legacy_below_32p():
+    cfg = RunConfig(variant=CSM_POLL, nprocs=8)
+    assert cfg.resolved_barrier_fanin == 2
+    assert not cfg.hierarchical_barriers
+    assert cfg.resolved_dir_shards == 1
+
+
+def test_resolved_knobs_scale_past_32p():
+    cfg = RunConfig(
+        variant=CSM_POLL, nprocs=64, cluster=cluster_for(64)
+    )
+    assert cfg.hierarchical_barriers
+    assert cfg.resolved_barrier_fanin == 4
+    assert cfg.resolved_dir_shards == cfg.cluster.n_nodes
+
+
+def test_knob_validation():
+    with pytest.raises(ValueError):
+        RunConfig(variant=CSM_POLL, nprocs=8, barrier_fanin=1)
+    with pytest.raises(ValueError):
+        RunConfig(variant=CSM_POLL, nprocs=8, dir_shards=0)
+    with pytest.raises(ValueError):
+        RunConfig(variant=CSM_POLL, nprocs=8, node_mem_pages=0)
+
+
+def test_weak_params_scales_the_linear_knob():
+    scaled = scaling.weak_params("sor", TINY_SOR, 8, 64)
+    assert scaled["rows"] == TINY_SOR["rows"] * 8
+    assert scaled["cols"] == TINY_SOR["cols"]
+    with pytest.raises(ValueError, match="no linear work dimension"):
+        scaling.weak_params("gauss", dict(n=64), 8, 64)
+
+
+def test_scaling_driver_weak_sweep():
+    ctx = ExperimentContext(scale="tiny")
+    result = scaling.run(
+        ctx, app="sor", mode="weak", counts=(4, 8), variants=(CSM_POLL,)
+    )
+    assert result.driver == "scaling"
+    points = result.rows
+    assert [p.nprocs for p in points] == [4, 8]
+    assert points[0].metric == 1.0  # the reference point
+    assert all(p.exec_time > 0 for p in points)
+    assert "efficiency" in result.text
+    assert result.config["mode"] == "weak"
+
+
+def test_scaling_driver_strong_sweep_via_api():
+    result = api.run_experiment(
+        "scaling",
+        scale="tiny",
+        app="sor",
+        mode="strong",
+        counts=(4, 8),
+        variants=(CSM_POLL,),
+    )
+    points = result.rows
+    assert points[0].metric == 1.0
+    assert "rel-speedup" in result.text
+
+
+def test_scaling_driver_rejects_unknown_mode():
+    ctx = ExperimentContext(scale="tiny")
+    with pytest.raises(ValueError, match="unknown scaling mode"):
+        scaling.sweep(ctx, mode="diagonal")
