@@ -83,6 +83,25 @@ engine, so the A/B doubles as the regression check against BENCH_PR5:
 
 Results land in ``BENCH_PR7.json``.
 
+**--pr8** — load-tests the experiment-serving layer (asyncio front
+end with request coalescing, cold-point batching, and the sharded
+result cache — see docs/SERVING.md) against the naive pre-serving
+path:
+
+1. **served load** — boots a real HTTP server on an ephemeral port
+   and fires hundreds of concurrent synthetic clients over a zipf-ish
+   distribution of a mixed hot/cold tiny-scale point set, reporting
+   throughput, p50/p99 latency, coalesce rate, and cache-hit rate;
+   every distinct point's served bytes are diffed against a direct
+   ``api.run_point`` call (identical or the benchmark fails);
+2. **naive baseline** — the same request issued as the pre-PR8 world
+   would: one fresh subprocess per request (interpreter + NumPy
+   import + uncached simulation), giving the ``speedup_over_naive``
+   figure (the acceptance gate is >= 5x; measured runs land around
+   two orders of magnitude).
+
+Results land in ``BENCH_PR8.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
@@ -95,6 +114,8 @@ Usage::
         [--reps N] [--baseline-json seed.json] [--out BENCH_PR5.json]
     PYTHONPATH=src python benchmarks/bench_wallclock.py --pr7 \
         [--reps N] [--out BENCH_PR7.json]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --pr8 \
+        [--clients N] [--jobs N] [--out BENCH_PR8.json]
 """
 
 from __future__ import annotations
@@ -1050,6 +1071,94 @@ def pr7_main(args) -> int:
     return 0
 
 
+def pr8_main(args) -> int:
+    from repro.serving.loadgen import bench_serve
+
+    clients = args.clients
+    requests = args.serve_requests
+    print(
+        f"benchmarking the experiment-serving layer: {clients} concurrent "
+        f"clients x {requests} requests (zipf {args.zipf}) over HTTP, "
+        f"plus a {args.naive_requests}-request naive subprocess baseline",
+        file=sys.stderr,
+    )
+    served = bench_serve(
+        clients=clients,
+        requests_per_client=requests,
+        jobs=min(8, max(1, args.jobs)),
+        zipf_s=args.zipf,
+        seed=1234,
+        naive_requests=args.naive_requests,
+        http=True,
+    )
+    print(
+        f"  served: {served['requests']} requests in "
+        f"{served['wall_seconds']:.2f}s "
+        f"({served['throughput_rps']:.1f} rps, "
+        f"p50 {served['latency_ms']['p50']:.0f}ms / "
+        f"p99 {served['latency_ms']['p99']:.0f}ms), "
+        f"sources {served['sources']}",
+        file=sys.stderr,
+    )
+    naive = served.get("naive_baseline")
+    if naive:
+        print(
+            f"  naive subprocess-per-request baseline: "
+            f"{naive['throughput_rps']:.2f} rps "
+            f"-> speedup {served.get('speedup_over_naive')}x",
+            file=sys.stderr,
+        )
+    failed = served["failed_requests"]
+    identical = served["identical_results"]
+    overlap = served["coalesce_rate"] > 0 or served["cache_hit_rate"] > 0
+    fast_enough = served.get("speedup_over_naive", 0) >= 5
+    report = {
+        "benchmark": (
+            "experiment-serving layer: asyncio HTTP front end with "
+            "singleflight request coalescing, cold-point batching onto "
+            "a persistent pre-forked worker pool, and the sharded "
+            "on-disk result cache, vs the naive pre-serving path (one "
+            "fresh subprocess per request)"
+        ),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "served": served,
+        "identical_results": identical,
+        "acceptance": {
+            "failed_requests": failed,
+            "coalesce_or_hit_rate_positive": overlap,
+            "speedup_over_naive_ge_5x": fast_enough,
+            "served_byte_identical_to_direct": identical,
+        },
+        "notes": (
+            "throughput_rps counts completed requests over the wall "
+            "clock of the whole fleet; the zipf(1.2) schedule over a "
+            "hottest-first mixed hot/cold point set means early bursts "
+            "coalesce (many awaiters, one simulation) and later "
+            "requests hit the sharded disk cache.  speedup_over_naive "
+            "compares against one subprocess per request running the "
+            "identical api.run_point call on the *hottest* (cheapest) "
+            "point — the baseline's best case.  identity replays every "
+            "distinct point through direct api.run_point and "
+            "byte-compares the canonical result encoding; "
+            "identical_results also requires every point to have "
+            "served exactly one digest across all its requests."
+        ),
+    }
+    out = args.out or str(
+        Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    )
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+    if not (identical and failed == 0 and overlap and fast_enough):
+        print("acceptance gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
@@ -1086,6 +1195,38 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--pr8",
+        action="store_true",
+        help=(
+            "load-test the experiment-serving layer (concurrent HTTP "
+            "clients vs naive subprocess-per-request baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=500,
+        help="--pr8: number of concurrent synthetic clients",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=2,
+        help="--pr8: sequential requests per client",
+    )
+    parser.add_argument(
+        "--zipf",
+        type=float,
+        default=1.2,
+        help="--pr8: zipf exponent for point popularity",
+    )
+    parser.add_argument(
+        "--naive-requests",
+        type=int,
+        default=3,
+        help="--pr8: requests for the subprocess-per-request baseline",
+    )
+    parser.add_argument(
         "--reps",
         type=int,
         default=7,
@@ -1120,6 +1261,8 @@ def main(argv=None) -> int:
         return pr5_main(args)
     if args.pr7:
         return pr7_main(args)
+    if args.pr8:
+        return pr8_main(args)
     if args.out is None:
         args.out = str(
             Path(__file__).resolve().parent.parent / "BENCH_PR2.json"

@@ -76,7 +76,7 @@ def _as_variant(variant: VariantLike) -> Optional[Variant]:
     return variant_by_name(variant)
 
 
-def run_point(
+def point_spec(
     app: str,
     variant: VariantLike = None,
     nprocs: int = 1,
@@ -89,17 +89,14 @@ def run_point(
     trace: bool = False,
     options: Optional[SimOptions] = None,
     **overrides: Any,
-) -> RunResult:
-    """Run one simulation point and return its :class:`RunResult`.
+) -> PointSpec:
+    """Build the :class:`PointSpec` that :func:`run_point` would run.
 
-    ``variant=None`` runs the app's sequential (unlinked) baseline.
-    ``params`` defaults to the app's ``default_params(scale)``;
-    ``costs`` defaults to the plain paper cost model (the harness's
-    per-app scaled-cache overrides apply only through
-    :func:`run_experiment` / ``ExperimentContext``, matching the
-    long-standing ``run_program`` behaviour).  Extra keyword arguments
-    become :class:`~repro.config.RunConfig` overrides
-    (``first_touch_homes=False``, ``weak_state=True``, ...).
+    The one place request parameters become an executable spec: the
+    serving layer (``repro.serving``) resolves every network request
+    through this same builder, which is what guarantees a served
+    result is byte-for-byte the result of the equivalent direct
+    :func:`run_point` call.
     """
     resolved = _as_variant(variant)
     module = registry.load(app)
@@ -118,7 +115,7 @@ def run_point(
             nprocs,
             mechanism=None if resolved is None else resolved.mechanism,
         )
-    spec = PointSpec(
+    return PointSpec(
         app=app,
         variant_name=SEQUENTIAL if resolved is None else resolved.name,
         nprocs=nprocs,
@@ -130,7 +127,71 @@ def run_point(
         overrides=overrides,
         options=options,
     )
-    return execute_point(spec)
+
+
+def run_point(
+    app: str,
+    variant: VariantLike = None,
+    nprocs: int = 1,
+    *,
+    scale: str = "small",
+    params: Optional[Dict[str, Any]] = None,
+    cluster: Optional[ClusterConfig] = None,
+    costs: Optional[CostModel] = None,
+    warm_start: bool = True,
+    trace: bool = False,
+    options: Optional[SimOptions] = None,
+    cache=None,
+    **overrides: Any,
+) -> RunResult:
+    """Run one simulation point and return its :class:`RunResult`.
+
+    ``variant=None`` runs the app's sequential (unlinked) baseline.
+    ``params`` defaults to the app's ``default_params(scale)``;
+    ``costs`` defaults to the plain paper cost model (the harness's
+    per-app scaled-cache overrides apply only through
+    :func:`run_experiment` / ``ExperimentContext``, matching the
+    long-standing ``run_program`` behaviour).  Extra keyword arguments
+    become :class:`~repro.config.RunConfig` overrides
+    (``first_touch_homes=False``, ``weak_state=True``, ...).
+
+    ``cache`` (a :class:`~repro.harness.cache.ResultCache`) makes the
+    call serving-aware: hits skip the simulation, misses store their
+    result, and either way ``result.extras["cache"]`` records the
+    fingerprint, whether it hit, and the cache's running
+    :class:`~repro.harness.cache.CacheStats` — in-band metadata rather
+    than the old stderr-only counters.  The simulated result is
+    identical with or without a cache.
+    """
+    spec = point_spec(
+        app,
+        variant,
+        nprocs,
+        scale=scale,
+        params=params,
+        cluster=cluster,
+        costs=costs,
+        warm_start=warm_start,
+        trace=trace,
+        options=options,
+        **overrides,
+    )
+    if cache is None:
+        return execute_point(spec)
+    from repro.harness.cache import key_for_spec
+
+    key = key_for_spec(spec)
+    result = cache.get(key)
+    hit = result is not None
+    if not hit:
+        result = execute_point(spec)
+        cache.put(key, result)
+    result.extras["cache"] = {
+        "key": key,
+        "hit": hit,
+        "stats": cache.stats.as_dict(),
+    }
+    return result
 
 
 def build_system(
@@ -177,6 +238,7 @@ def run_experiment(
     warm_start: bool = True,
     jobs: int = 1,
     cache=None,
+    pool=None,
     options: Optional[SimOptions] = None,
     **driver_kwargs: Any,
 ) -> DriverResult:
@@ -185,10 +247,13 @@ def run_experiment(
     ``driver`` is one of :data:`EXPERIMENTS`.  Pass an existing
     :class:`~repro.harness.runner.ExperimentContext` as ``ctx`` to
     share caches/baselines across invocations; otherwise one is built
-    from ``scale``/``warm_start``/``jobs``/``cache``.  ``options``
-    (when given) is applied process-wide and shipped to worker
-    processes.  Driver-specific parameters (``apps=``, ``variants=``,
-    ``counts=``, ``nprocs=``, ``knob=``...) pass through.
+    from ``scale``/``warm_start``/``jobs``/``cache``/``pool``
+    (``pool`` — a :func:`repro.harness.parallel.persistent_pool` — fans
+    every batch across long-lived workers with no per-batch pool
+    spin-up; the caller owns its lifetime).  ``options`` (when given)
+    is applied process-wide and shipped to worker processes.
+    Driver-specific parameters (``apps=``, ``variants=``, ``counts=``,
+    ``nprocs=``, ``knob=``...) pass through.
     """
     import importlib
 
@@ -206,6 +271,7 @@ def run_experiment(
             warm_start=warm_start,
             jobs=jobs,
             cache=cache,
+            pool=pool,
             options=options,
         )
     module = importlib.import_module(f"repro.harness.{driver}")
@@ -220,6 +286,7 @@ __all__ = [
     "System",
     "build_system",
     "list_apps",
+    "point_spec",
     "run_experiment",
     "run_point",
 ]

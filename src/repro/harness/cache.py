@@ -19,6 +19,14 @@ written atomically.
 The cache directory resolves, in order: an explicit ``cache_dir``
 argument (the CLI's ``--cache-dir``), ``$REPRO_DSM_CACHE``,
 ``$XDG_CACHE_HOME/repro-dsm``, then ``~/.cache/repro-dsm``.
+
+Entries live in two-hex-char fingerprint-prefix subdirectories
+(``ab/abcdef....pkl``), so a hot cache with tens of thousands of points
+never turns a lookup into a linear scan of one huge directory.  Caches
+written by the original flat layout (``abcdef....pkl`` directly in the
+cache root) keep working: a sharded miss falls back to the flat path
+and, on a hit, migrates the entry into its shard subdirectory — see
+:meth:`ResultCache.get`.
 """
 
 from __future__ import annotations
@@ -153,16 +161,53 @@ def _digest(payload: Dict[str, Any]) -> str:
     return hashlib.sha256(encoded.encode()).hexdigest()
 
 
+def key_for_spec(spec) -> str:
+    """The cache key for one :class:`~repro.harness.parallel.PointSpec`.
+
+    The single key derivation shared by the harness
+    (:class:`~repro.harness.runner.ExperimentContext`), the serving
+    layer (``repro.serving``), and the serving-aware
+    ``repro.api.run_point`` — one spec, one fingerprint, everywhere.
+    """
+    if spec.is_sequential:
+        return sequential_key(
+            spec.app, spec.params, spec.cluster.page_size, spec.costs
+        )
+    return run_key(spec.app, spec.params, spec.run_config())
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one harness invocation."""
+    """Hit/miss accounting for one harness or serving invocation.
+
+    ``coalesced`` counts requests that never touched the disk at all:
+    the serving layer's singleflight folded them onto an identical
+    in-flight computation (``repro.serving``).  ``migrated`` counts
+    legacy flat-layout entries moved into their shard subdirectory on
+    first hit.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    coalesced: int = 0
+    migrated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for result envelopes and JSON payloads."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "coalesced": self.coalesced,
+            "migrated": self.migrated,
+        }
 
     def __str__(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es)"
+        text = f"{self.hits} hit(s), {self.misses} miss(es)"
+        if self.coalesced:
+            text += f", {self.coalesced} coalesced"
+        return text
 
 
 @dataclass
@@ -186,17 +231,17 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key[:2]}" / f"{key}.pkl"
 
-    def get(self, key: str):
-        """The cached result for ``key``, or None on a miss."""
-        if self.refresh:
-            self.stats.misses += 1
-            return None
-        path = self._path(key)
+    def _legacy_path(self, key: str) -> Path:
+        # The pre-sharding flat layout: every entry directly in the
+        # cache root.  Read-and-migrate only; never written to.
+        return self.cache_dir / f"{key}.pkl"
+
+    def _load(self, path: Path):
+        """Unpickle ``path``; None when missing, corrupt, or stale."""
         try:
             with open(path, "rb") as stream:
-                result = pickle.load(stream)
+                return pickle.load(stream)
         except FileNotFoundError:
-            self.stats.misses += 1
             return None
         except Exception:
             # Corrupt or unreadable entry (interrupted write, version
@@ -205,10 +250,39 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            return None
+
+    def get(self, key: str):
+        """The cached result for ``key``, or None on a miss.
+
+        Looks in the sharded layout first, then falls back to the
+        legacy flat layout; a flat hit migrates the entry into its
+        shard subdirectory so the fallback is paid at most once per
+        entry.
+        """
+        if self.refresh:
             self.stats.misses += 1
             return None
+        result = self._load(self._path(key))
+        if result is None:
+            legacy = self._legacy_path(key)
+            result = self._load(legacy)
+            if result is None:
+                self.stats.misses += 1
+                return None
+            self._migrate(key, legacy)
         self.stats.hits += 1
         return result
+
+    def _migrate(self, key: str, legacy: Path) -> None:
+        """Move a flat-layout entry into its shard subdirectory."""
+        target = self._path(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError:
+            return  # read-only cache dir: keep serving from the flat file
+        self.stats.migrated += 1
 
     def put(self, key: str, result) -> None:
         """Store ``result`` under ``key`` (atomic rename)."""
@@ -228,3 +302,40 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+
+    def summary(self) -> Dict[str, Any]:
+        """One scan of the cache directory: entry and shard counts.
+
+        Powering the serving layer's ``GET /v1/stats`` endpoint and the
+        ``repro-dsm serve`` startup banner; ``legacy_entries`` > 0
+        means flat-layout files are still awaiting their
+        migrate-on-first-hit move.
+        """
+        entries = 0
+        shards = 0
+        legacy = 0
+        total_bytes = 0
+        try:
+            children = list(self.cache_dir.iterdir())
+        except OSError:
+            children = []
+        for child in children:
+            if child.is_dir() and len(child.name) == 2:
+                shard_entries = list(child.glob("*.pkl"))
+                if shard_entries:
+                    shards += 1
+                    entries += len(shard_entries)
+                    total_bytes += sum(
+                        p.stat().st_size for p in shard_entries
+                    )
+            elif child.suffix == ".pkl" and not child.name.startswith("."):
+                legacy += 1
+                entries += 1
+                total_bytes += child.stat().st_size
+        return {
+            "cache_dir": str(self.cache_dir),
+            "entries": entries,
+            "shards": shards,
+            "legacy_entries": legacy,
+            "bytes": total_bytes,
+        }

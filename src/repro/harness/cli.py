@@ -384,6 +384,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the first N events of each trace",
     )
 
+    sv = sub.add_parser(
+        "serve",
+        help="serve experiment points over HTTP (async front end with "
+        "request coalescing, cold-point batching, and the sharded "
+        "result cache; see docs/SERVING.md)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=8377,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    sv.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help="simulation worker processes (0 = one in-process worker "
+        "thread; N>0 = persistent process pool)",
+    )
+    sv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="cold-point arrival window: requests within it batch onto "
+        "one pool submission round",
+    )
+    sv.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        metavar="N",
+        help="flush a batch early once this many cold points pend",
+    )
+    sv.add_argument("--cache-dir", metavar="DIR", default=None)
+    sv.add_argument("--no-cache", action="store_true")
+    sv.add_argument(
+        "--refresh",
+        action="store_true",
+        help="treat every lookup as a miss (recompute and overwrite)",
+    )
+
+    bs = sub.add_parser(
+        "bench-serve",
+        help="load-test the serving layer: boot a server, fire "
+        "concurrent synthetic clients over a zipf point "
+        "distribution, verify byte-identity vs direct api.run_point, "
+        "report throughput/latency/coalesce/hit rates",
+    )
+    bs.add_argument("--clients", type=int, default=500)
+    bs.add_argument(
+        "--requests",
+        type=int,
+        default=2,
+        metavar="N",
+        help="requests issued sequentially by each client",
+    )
+    bs.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="server worker processes (default min(8, cores))",
+    )
+    bs.add_argument("--batch-window-ms", type=float, default=5.0)
+    bs.add_argument(
+        "--point-scale",
+        default="tiny",
+        choices=("tiny", "small"),
+        help="problem-size tier of the served point set",
+    )
+    bs.add_argument("--zipf", type=float, default=1.2)
+    bs.add_argument("--seed", type=int, default=1234)
+    bs.add_argument(
+        "--in-process",
+        action="store_true",
+        help="drive the service without sockets (isolates resolution "
+        "cost from HTTP overhead)",
+    )
+    bs.add_argument(
+        "--naive-requests",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also time N naive one-subprocess-per-request calls and "
+        "report speedup_over_naive",
+    )
+    bs.add_argument(
+        "--assert-coalesce",
+        action="store_true",
+        help="exit nonzero unless coalesce rate > 0 and no request "
+        "failed (the CI serve-smoke gate)",
+    )
+    bs.add_argument("--out", metavar="PATH", default=None)
+
     one = sub.add_parser("run", help="one application run, in detail")
     _add_common(one)
     one.add_argument("app", choices=registry.APP_NAMES)
@@ -462,8 +560,127 @@ def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
         print(result.trace.render(limit=args.trace_limit))
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the HTTP server until stopped."""
+    import asyncio
+    import signal
+
+    from repro.serving import ExperimentServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        refresh=args.refresh,
+    )
+
+    async def run() -> None:
+        server = ExperimentServer(config=config)
+        host, port = await server.start()
+        workers = (
+            f"{config.jobs} worker process(es)"
+            if config.jobs > 0
+            else "1 in-process worker thread"
+        )
+        banner = (
+            f"[serve] listening on http://{host}:{port} "
+            f"({workers}, batch window {config.batch_window_ms}ms)"
+        )
+        cache = server.service.cache
+        if cache is not None:
+            summary = cache.summary()
+            banner += (
+                f"\n[serve] cache {summary['cache_dir']}: "
+                f"{summary['entries']} entr(ies) in "
+                f"{summary['shards']} shard(s)"
+            )
+            if summary["legacy_entries"]:
+                banner += (
+                    f", {summary['legacy_entries']} legacy flat "
+                    f"entr(ies) pending migrate-on-hit"
+                )
+        else:
+            banner += "\n[serve] result cache disabled"
+        print(banner, file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:
+                pass
+        await stop.wait()
+        print("[serve] draining in-flight requests...", file=sys.stderr)
+        await server.shutdown(drain=True)
+        print(
+            f"[serve] done: {server.service.stats.as_dict()}",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_bench_serve(args: argparse.Namespace) -> int:
+    """The ``bench-serve`` subcommand: synthetic load + verification."""
+    import json
+
+    from repro.serving.loadgen import bench_serve
+
+    report = bench_serve(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        jobs=args.jobs,
+        window_ms=args.batch_window_ms,
+        scale=args.point_scale,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        naive_requests=args.naive_requests,
+        http=not args.in_process,
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"[bench-serve] wrote {args.out}", file=sys.stderr)
+    if not report["identical_results"]:
+        print(
+            "[bench-serve] FAIL: served results diverge from direct "
+            "api.run_point",
+            file=sys.stderr,
+        )
+        return 1
+    if args.assert_coalesce:
+        if report["failed_requests"]:
+            print(
+                f"[bench-serve] FAIL: {report['failed_requests']} "
+                f"request(s) failed",
+                file=sys.stderr,
+            )
+            return 1
+        if report["coalesce_rate"] <= 0 and report["cache_hit_rate"] <= 0:
+            print(
+                "[bench-serve] FAIL: no request coalesced or hit the "
+                "cache",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "bench-serve":
+        return _run_bench_serve(args)
     if args.profile:
         import cProfile
 

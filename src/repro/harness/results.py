@@ -39,7 +39,10 @@ class DriverResult:
         Simulated microseconds per time category, summed the same way.
     ``provenance``
         Package version, scale, options, job/cache setup — what you
-        need to know to rerun or trust the numbers.
+        need to know to rerun or trust the numbers.  When the context
+        carried a result cache, ``provenance["cache_stats"]`` holds its
+        hit/miss/coalesced counters (None otherwise), so load
+        generators and CI assert on them instead of scraping stderr.
     ``text``
         The driver's rendered table/figure, byte-identical to what the
         CLI prints.
@@ -73,6 +76,9 @@ def build(driver: str, ctx, rows, text: str, config: Dict[str, Any]) -> DriverRe
         "warm_start": ctx.warm_start,
         "jobs": ctx.jobs,
         "cache": ctx.cache is not None,
+        "cache_stats": (
+            ctx.cache.stats.as_dict() if ctx.cache is not None else None
+        ),
         "options": asdict(options_mod.current()),
         "simulations": ctx.runs_executed,
     }

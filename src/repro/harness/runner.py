@@ -13,7 +13,7 @@ from repro.config import (
 )
 from repro.core import Program, RunResult, run_program, run_sequential
 from repro.apps import registry
-from repro.harness.cache import ResultCache, run_key, sequential_key
+from repro.harness.cache import ResultCache, key_for_spec
 from repro.harness.parallel import SEQUENTIAL, PointSpec, run_points
 from repro.options import SimOptions
 from repro.stats.export import TraceRun
@@ -67,6 +67,11 @@ class ExperimentContext:
     # Optional persistent result cache (the CLI's ``--cache-dir`` /
     # ``--no-cache``); None disables on-disk caching entirely.
     cache: Optional[ResultCache] = None
+    # Optional long-lived worker pool (repro.harness.parallel
+    # .persistent_pool): when set, every run_batch fans across it and
+    # no per-batch pool is constructed or torn down.  The caller owns
+    # the pool's lifetime; ``jobs`` is ignored while it is set.
+    pool: Optional[Any] = None
     # Wall-clock toggles (fast path, queue mode, debug checks) shipped
     # to worker processes inside every PointSpec.  None inherits the
     # process-wide repro.options.current().
@@ -131,7 +136,9 @@ class ExperimentContext:
             else:
                 missing.append(i)
 
-        fresh = run_points([specs[i] for i in missing], jobs=self.jobs)
+        fresh = run_points(
+            [specs[i] for i in missing], jobs=self.jobs, pool=self.pool
+        )
         for i, result in zip(missing, fresh):
             results[i] = result
             self._store(specs[i], keys[i], result)
@@ -200,11 +207,7 @@ class ExperimentContext:
     def _key_for(self, spec: PointSpec) -> Optional[str]:
         if self.cache is None:
             return None
-        if spec.is_sequential:
-            return sequential_key(
-                spec.app, spec.params, spec.cluster.page_size, spec.costs
-            )
-        return run_key(spec.app, spec.params, spec.run_config())
+        return key_for_spec(spec)
 
     def _seq_memo_key(self, spec: PointSpec) -> Tuple:
         # Keyed by (app, exact params): the baseline never touches the

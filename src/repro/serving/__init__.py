@@ -1,0 +1,60 @@
+"""Multi-tenant experiment-serving layer (PR 8).
+
+``repro.serving`` turns the content-addressed result cache (PR 2), the
+parallel harness (PR 2/PR 5), and the ``repro.api`` facade (PR 4) into
+an asyncio front end that serves experiment points to many concurrent
+clients.  Every request resolves through a three-tier fast path:
+
+1. **Sharded on-disk cache** — a prior run of the identical point
+   (same app, params, ``RunConfig``, code fingerprint) is unpickled
+   and served without simulating anything.
+2. **Singleflight coalescing** — an identical point already in flight
+   gains one more awaiter instead of one more simulation
+   (:mod:`repro.serving.singleflight`).
+3. **Cold-point batching** — genuinely new points are grouped inside a
+   small arrival window and fanned across one long-lived worker pool
+   (:mod:`repro.serving.batcher` over
+   :func:`repro.harness.parallel.persistent_pool`), streaming back as
+   each point completes.
+
+Served results are byte-for-byte identical to direct
+:func:`repro.api.run_point` calls: requests are decoded through the
+same :func:`repro.api.point_spec` builder the facade uses, and the
+simulator is deterministic.  See ``docs/SERVING.md`` for the protocol,
+semantics, and deployment knobs.
+"""
+
+from repro.serving.batcher import ColdPointBatcher
+from repro.serving.client import HttpClient, InProcessClient
+from repro.serving.codec import (
+    ServingError,
+    decode_request,
+    encode_result,
+    request_kwargs,
+    result_digest,
+    result_payload,
+)
+from repro.serving.server import (
+    ExperimentServer,
+    ExperimentService,
+    ServeStats,
+    ServerConfig,
+)
+from repro.serving.singleflight import SingleFlight
+
+__all__ = [
+    "ColdPointBatcher",
+    "ExperimentServer",
+    "ExperimentService",
+    "HttpClient",
+    "InProcessClient",
+    "ServeStats",
+    "ServerConfig",
+    "ServingError",
+    "SingleFlight",
+    "decode_request",
+    "encode_result",
+    "request_kwargs",
+    "result_digest",
+    "result_payload",
+]

@@ -1,0 +1,176 @@
+"""Awaitable clients for the experiment server.
+
+:class:`InProcessClient`
+    Wraps an :class:`~repro.serving.server.ExperimentService` directly
+    — no sockets, no serialization of the request — so tests and
+    benchmarks exercise the exact three-tier resolution path the HTTP
+    front end uses, deterministically and fast.
+
+:class:`HttpClient`
+    A stdlib-only asyncio HTTP/1.1 client for a running
+    :class:`~repro.serving.server.ExperimentServer` (one connection per
+    request, close-delimited responses — mirroring the server).
+
+Both speak the same request objects (see
+:mod:`repro.serving.codec`) and return the same payload dicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+from repro.serving.codec import ServingError
+
+
+def _request(app: str, variant=None, nprocs: int = 1, **fields) -> Dict:
+    request: Dict[str, Any] = {"app": app, "nprocs": nprocs}
+    if variant is not None:
+        request["variant"] = variant
+    request.update(fields)
+    return request
+
+
+class InProcessClient:
+    """Drive a service on the current event loop, no sockets."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    async def point(
+        self, app: str, variant=None, nprocs: int = 1, **fields
+    ) -> Dict[str, Any]:
+        """Resolve one point; returns the payload dict."""
+        return await self.service.resolve(
+            _request(app, variant, nprocs, **fields)
+        )
+
+    async def resolve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Resolve one already-built request object."""
+        return await self.service.resolve(request)
+
+    async def points(
+        self, requests: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Resolve many requests concurrently, in request order."""
+        return await asyncio.gather(
+            *(self.service.resolve(request) for request in requests)
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        return self.service.stats_payload()
+
+
+class HttpClient:
+    """Talk to a live server over TCP (stdlib asyncio only)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377) -> None:
+        self.host = host
+        self.port = port
+
+    async def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ):
+        """One request; returns ``(status, reader, writer)`` with the
+        reader positioned at the start of the response body."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        head = f"{method} {path} HTTP/1.1\r\nHost: {self.host}\r\n"
+        if body:
+            head += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode() + (body or b""))
+        await writer.drain()
+        status_line = await reader.readline()
+        try:
+            status = int(status_line.split()[1])
+        except (IndexError, ValueError):
+            writer.close()
+            raise ServingError(
+                f"malformed response: {status_line!r}", status=502
+            )
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        return status, reader, writer
+
+    async def _json(self, method: str, path: str, payload=None):
+        body = (
+            json.dumps(payload).encode() if payload is not None else None
+        )
+        status, reader, writer = await self._roundtrip(method, path, body)
+        raw = await reader.read(-1)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        decoded = json.loads(raw) if raw else {}
+        if status != 200:
+            raise ServingError(
+                decoded.get("error", f"HTTP {status}"), status=status
+            )
+        return decoded
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self._json("GET", "/v1/healthz")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self._json("GET", "/v1/stats")
+
+    async def point(
+        self, app: str, variant=None, nprocs: int = 1, **fields
+    ) -> Dict[str, Any]:
+        return await self.resolve(_request(app, variant, nprocs, **fields))
+
+    async def resolve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return await self._json("POST", "/v1/point", request)
+
+    async def stream_points(
+        self, requests: List[Dict[str, Any]]
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield payloads as the server completes them (JSONL order)."""
+        body = json.dumps({"points": requests}).encode()
+        status, reader, writer = await self._roundtrip(
+            "POST", "/v1/points", body
+        )
+        try:
+            if status != 200:
+                raw = await reader.read(-1)
+                decoded = json.loads(raw) if raw else {}
+                raise ServingError(
+                    decoded.get("error", f"HTTP {status}"), status=status
+                )
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip():
+                    yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def points(
+        self, requests: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Resolve many requests; returns payloads in request order."""
+        ordered: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        async for payload in self.stream_points(requests):
+            ordered[payload["index"]] = payload
+        missing = [i for i, p in enumerate(ordered) if p is None]
+        if missing:
+            raise ServingError(
+                f"stream ended without results for indices {missing}",
+                status=502,
+            )
+        return ordered

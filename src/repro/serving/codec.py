@@ -1,0 +1,191 @@
+"""Request decoding and canonical result encoding for the server.
+
+A request is a plain JSON object naming one experiment point::
+
+    {"app": "sor", "variant": "csm_poll", "nprocs": 4,
+     "scale": "tiny", "params": {...}, "warm_start": true,
+     "options": {"fastpath": false}, "overrides": {"network": "rdma"}}
+
+Only ``app`` is required.  :func:`decode_request` funnels the request
+through :func:`repro.api.point_spec` — the exact builder behind
+``api.run_point`` — so a served point and a direct call construct the
+same :class:`~repro.harness.parallel.PointSpec`, and the deterministic
+simulator does the rest: the served result is byte-for-byte the direct
+result.
+
+:func:`encode_result` is that byte-for-byte claim made concrete: a
+canonical JSON encoding (sorted keys, no whitespace, NumPy values
+converted losslessly) of everything a client consumes from a
+:class:`~repro.core.runtime.program.RunResult` — simulated time,
+counters, breakdown, and the application's return values.  Identity
+tests and the load generator compare these bytes (or the SHA-256
+:func:`result_digest` over them) between served payloads and direct
+``api.run_point`` output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.options import SimOptions
+
+#: Top-level request fields the decoder accepts.
+REQUEST_FIELDS = (
+    "app",
+    "variant",
+    "nprocs",
+    "scale",
+    "params",
+    "warm_start",
+    "options",
+    "overrides",
+)
+
+#: ``options`` sub-object fields (the SimOptions surface).
+OPTION_FIELDS = (
+    "fastpath",
+    "debug_checks",
+    "calqueue",
+    "kernels",
+    "shard",
+    "network",
+)
+
+
+class ServingError(Exception):
+    """A request the server refuses; ``status`` is the HTTP code."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a request and return ``api.run_point`` keyword args.
+
+    Rejects unknown fields loudly (a typo like ``"procs"`` must not
+    silently serve the default point).  ``options`` is always
+    materialised into a :class:`SimOptions` — absent means *defaults*,
+    never "whatever the previous request left applied in a pool
+    worker".
+    """
+    if not isinstance(request, dict):
+        raise ServingError("request must be a JSON object")
+    unknown = set(request) - set(REQUEST_FIELDS)
+    if unknown:
+        raise ServingError(
+            f"unknown request field(s) {sorted(unknown)}; "
+            f"accepted: {list(REQUEST_FIELDS)}"
+        )
+    app = request.get("app")
+    if not isinstance(app, str) or not app:
+        raise ServingError("request needs an 'app' (string)")
+    from repro.apps import registry
+
+    if app not in registry.APP_NAMES:
+        raise ServingError(
+            f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+        )
+    variant = request.get("variant")
+    if variant is not None:
+        from repro.config import variant_by_name
+
+        try:
+            variant_by_name(variant)
+        except (KeyError, ValueError) as exc:
+            raise ServingError(f"unknown variant {variant!r}") from exc
+    nprocs = request.get("nprocs", 1)
+    if not isinstance(nprocs, int) or nprocs < 1:
+        raise ServingError("'nprocs' must be a positive integer")
+    raw_options = request.get("options") or {}
+    unknown = set(raw_options) - set(OPTION_FIELDS)
+    if unknown:
+        raise ServingError(
+            f"unknown options field(s) {sorted(unknown)}; "
+            f"accepted: {list(OPTION_FIELDS)}"
+        )
+    try:
+        options = SimOptions(**raw_options)
+    except TypeError as exc:
+        raise ServingError(f"bad options object: {exc}") from exc
+    overrides = request.get("overrides") or {}
+    if not isinstance(overrides, dict):
+        raise ServingError("'overrides' must be an object")
+    kwargs: Dict[str, Any] = {
+        "app": app,
+        "variant": variant,
+        "nprocs": nprocs,
+        "scale": request.get("scale", "small"),
+        "warm_start": bool(request.get("warm_start", True)),
+        "options": options,
+    }
+    params = request.get("params")
+    if params is not None:
+        if not isinstance(params, dict):
+            raise ServingError("'params' must be an object")
+        kwargs["params"] = params
+    kwargs.update(overrides)
+    return kwargs
+
+
+def decode_request(request: Dict[str, Any]):
+    """A validated request, as the :class:`PointSpec` it names."""
+    from repro import api
+
+    kwargs = request_kwargs(request)
+    try:
+        return api.point_spec(**kwargs)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ServingError(f"bad request: {exc}") from exc
+
+
+def _jsonable(value: Any) -> Any:
+    """Lossless JSON conversion for result values (NumPy included)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    tolist = getattr(value, "tolist", None)  # ndarray and NumPy scalars
+    if callable(tolist):
+        return tolist()
+    return repr(value)
+
+
+def result_payload(result) -> Dict[str, Any]:
+    """The canonical client-facing view of one :class:`RunResult`.
+
+    Everything here is a pure function of the simulation — no serving
+    metadata, no wall-clock, no ``extras`` — so the payload of a cache
+    hit, a coalesced await, and a fresh computation are identical.
+    """
+    cfg = result.config
+    return {
+        "program": result.program,
+        "variant": cfg.variant.name if cfg is not None else "sequential",
+        "nprocs": cfg.nprocs if cfg is not None else 1,
+        "exec_time_us": result.exec_time,
+        "network_bytes": result.network_bytes,
+        "counters": {
+            k: int(v)
+            for k, v in sorted(result.stats.aggregate_counters().items())
+            if v
+        },
+        "breakdown_us": result.breakdown.as_dict(),
+        "values": _jsonable(result.values),
+    }
+
+
+def encode_result(result) -> bytes:
+    """Canonical bytes of :func:`result_payload` (sorted, compact)."""
+    return json.dumps(
+        result_payload(result), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def result_digest(result) -> str:
+    """SHA-256 hexdigest over :func:`encode_result`."""
+    return hashlib.sha256(encode_result(result)).hexdigest()

@@ -1,0 +1,337 @@
+"""Synthetic multi-tenant load for the experiment server.
+
+The workload models what the ROADMAP's north-star service sees: many
+clients, a zipf-ish point popularity curve (a few hot points absorb
+most requests; a long tail stays cold), arrivals bursty enough to
+coalesce.  :func:`run_load` drives any client exposing
+``resolve(request)`` — in-process or HTTP — and reports throughput,
+latency percentiles, coalesce rate, and cache-hit rate;
+:func:`verify_against_direct` then replays every distinct point
+through plain :func:`repro.api.run_point` and byte-compares the served
+results, and :func:`naive_baseline` measures the pre-serving
+alternative (one fresh subprocess per request) that the ≥5x
+throughput claim in ``BENCH_PR8.json`` is made against.
+
+Everything is seeded: the same (seed, clients, requests) schedule hits
+the same points in the same order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def default_point_set(
+    scale: str = "tiny", extra_cold: bool = True
+) -> List[Dict[str, Any]]:
+    """A mixed hot/cold request set over fast tiny-scale points.
+
+    Ordered hottest-first (rank 0 gets the largest zipf weight): the
+    sor/water front is the hot set; the gauss/lu tail stays cold
+    enough that most of its requests arrive after the cache warmed.
+    """
+    points: List[Dict[str, Any]] = []
+    for app in ("sor", "water"):
+        for variant in ("csm_poll", "tmk_mc_poll"):
+            for nprocs in (4, 1):
+                points.append(
+                    {
+                        "app": app,
+                        "variant": variant,
+                        "nprocs": nprocs,
+                        "scale": scale,
+                    }
+                )
+    if extra_cold:
+        for app in ("gauss", "lu"):
+            for variant in ("csm_poll", "tmk_mc_poll"):
+                points.append(
+                    {
+                        "app": app,
+                        "variant": variant,
+                        "nprocs": 4,
+                        "scale": scale,
+                    }
+                )
+    return points
+
+
+def zipf_weights(n: int, s: float = 1.2) -> List[float]:
+    """Normalised zipf(s) weights for ranks 0..n-1."""
+    raw = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+async def run_load(
+    client,
+    points: Optional[List[Dict[str, Any]]] = None,
+    clients: int = 100,
+    requests_per_client: int = 2,
+    zipf_s: float = 1.2,
+    seed: int = 1234,
+    concurrency: int = 256,
+) -> Dict[str, Any]:
+    """Fire the synthetic fleet and collect the serving report.
+
+    ``clients`` concurrent tasks each issue ``requests_per_client``
+    sequential requests drawn from the zipf distribution over
+    ``points``.  ``concurrency`` bounds simultaneous in-flight
+    requests (HTTP mode: open sockets).  The report's ``digests`` map
+    each point index to the set of result digests observed — exactly
+    one per point unless determinism broke.
+    """
+    points = points if points is not None else default_point_set()
+    weights = zipf_weights(len(points), zipf_s)
+    rng = random.Random(seed)
+    schedule = [
+        rng.choices(range(len(points)), weights=weights,
+                    k=requests_per_client)
+        for _ in range(clients)
+    ]
+    gate = asyncio.Semaphore(concurrency)
+    latencies: List[float] = []
+    sources: Dict[str, int] = {}
+    digests: Dict[int, set] = {}
+    failures: List[str] = []
+    result_bytes: Dict[int, bytes] = {}
+
+    async def one_client(point_indices: List[int]) -> None:
+        import json as _json
+
+        for index in point_indices:
+            async with gate:
+                begin = time.perf_counter()
+                try:
+                    payload = await client.resolve(points[index])
+                except Exception as exc:
+                    failures.append(f"point {index}: {exc}")
+                    continue
+                latencies.append(time.perf_counter() - begin)
+            sources[payload["source"]] = (
+                sources.get(payload["source"], 0) + 1
+            )
+            digests.setdefault(index, set()).add(payload["digest"])
+            result_bytes.setdefault(
+                index,
+                _json.dumps(
+                    payload["result"],
+                    sort_keys=True,
+                    separators=(",", ":"),
+                ).encode(),
+            )
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(one_client(indices) for indices in schedule)
+    )
+    wall_s = time.perf_counter() - started
+
+    completed = len(latencies)
+    latencies.sort()
+    total_requests = clients * requests_per_client
+    coalesced = sources.get("coalesced", 0)
+    hits = sources.get("cache", 0)
+    return {
+        "points": len(points),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "zipf_s": zipf_s,
+        "seed": seed,
+        "requests": total_requests,
+        "completed": completed,
+        "failed_requests": len(failures),
+        "failures": failures[:10],
+        "wall_seconds": round(wall_s, 4),
+        "throughput_rps": round(completed / wall_s, 2) if wall_s else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p90": round(_percentile(latencies, 0.90) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+        },
+        "sources": sources,
+        "coalesce_rate": (
+            round(coalesced / completed, 4) if completed else 0.0
+        ),
+        "cache_hit_rate": (
+            round(hits / completed, 4) if completed else 0.0
+        ),
+        "one_digest_per_point": all(
+            len(seen) == 1 for seen in digests.values()
+        ),
+        "_result_bytes": result_bytes,  # stripped before JSON reports
+    }
+
+
+def verify_against_direct(
+    points: List[Dict[str, Any]], result_bytes: Dict[int, bytes]
+) -> Dict[str, Any]:
+    """Replay each served point through ``api.run_point``, byte-diff.
+
+    Returns ``{"identical": bool, "mismatches": [...], "checked": n}``.
+    The direct run uses the identical request decoding
+    (:func:`repro.serving.codec.request_kwargs`), so any byte
+    difference is a real serving-layer divergence, not a config skew.
+    """
+    from repro import api
+    from repro.serving.codec import encode_result, request_kwargs
+
+    mismatches = []
+    checked = 0
+    for index, served in sorted(result_bytes.items()):
+        direct = api.run_point(**request_kwargs(points[index]))
+        checked += 1
+        if encode_result(direct) != served:
+            mismatches.append(points[index])
+    return {
+        "identical": not mismatches,
+        "checked": checked,
+        "mismatches": mismatches,
+    }
+
+
+def bench_serve(
+    clients: int = 500,
+    requests_per_client: int = 2,
+    jobs: Optional[int] = None,
+    window_ms: float = 5.0,
+    scale: str = "tiny",
+    zipf_s: float = 1.2,
+    seed: int = 1234,
+    naive_requests: int = 0,
+    http: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Boot a server, fire the fleet, verify, and report.
+
+    The one benchmark entry shared by ``repro-dsm bench-serve`` and
+    ``bench_wallclock.py --pr8``.  Boots a real
+    :class:`~repro.serving.server.ExperimentServer` on an ephemeral
+    port (``http=False`` skips the sockets and drives the service
+    in-process), runs :func:`run_load`, byte-verifies every distinct
+    point against direct ``api.run_point``, and (with
+    ``naive_requests > 0``) measures the naive one-subprocess-per-
+    request baseline for the ``speedup_over_naive`` figure.
+    """
+    import tempfile
+
+    from repro.serving.client import HttpClient, InProcessClient
+    from repro.serving.server import ExperimentServer, ServerConfig
+
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    points = default_point_set(scale)
+
+    async def go(cdir: str):
+        config = ServerConfig(
+            host="127.0.0.1",
+            port=0,
+            jobs=jobs,
+            batch_window_ms=window_ms,
+            cache_dir=cdir,
+        )
+        server = ExperimentServer(config=config)
+        host, port = await server.start()
+        client = (
+            HttpClient(host, port)
+            if http
+            else InProcessClient(server.service)
+        )
+        report = await run_load(
+            client,
+            points,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            zipf_s=zipf_s,
+            seed=seed,
+        )
+        stats = server.service.stats_payload()
+        await server.shutdown(drain=True)
+        return report, stats
+
+    if cache_dir is not None:
+        report, stats = asyncio.run(go(cache_dir))
+    else:
+        with tempfile.TemporaryDirectory(
+            prefix="repro-dsm-serve-bench-"
+        ) as tmp:
+            report, stats = asyncio.run(go(tmp))
+
+    result_bytes = report.pop("_result_bytes")
+    identity = verify_against_direct(points, result_bytes)
+    report["identity"] = identity
+    report["identical_results"] = (
+        identity["identical"] and report["one_digest_per_point"]
+    )
+    report["transport"] = "http" if http else "in-process"
+    report["server"] = stats
+    if naive_requests > 0:
+        baseline = naive_baseline(points, requests=naive_requests)
+        report["naive_baseline"] = baseline
+        if baseline["throughput_rps"]:
+            report["speedup_over_naive"] = round(
+                report["throughput_rps"] / baseline["throughput_rps"], 1
+            )
+    return report
+
+
+def naive_baseline(
+    points: List[Dict[str, Any]], requests: int = 4
+) -> Dict[str, Any]:
+    """Throughput of the pre-serving path: one subprocess per request.
+
+    This is what "run an experiment point for me" cost before PR 8:
+    every request pays interpreter start-up, ``repro`` + NumPy import,
+    and a full simulation — no cache, no coalescing, no shared pool.
+    Measured over the *hottest* point, which is the baseline's best
+    case (the cheapest simulation in the set).
+    """
+    hottest = points[0]
+    src = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(src)
+    )
+    code = (
+        "import json,sys\n"
+        "from repro import api\n"
+        "from repro.serving.codec import request_kwargs\n"
+        "request = json.loads(sys.argv[1])\n"
+        "api.run_point(**request_kwargs(request))\n"
+    )
+    import json as _json
+
+    request_json = _json.dumps(hottest)
+    started = time.perf_counter()
+    for _ in range(requests):
+        subprocess.run(
+            [sys.executable, "-c", code, request_json],
+            check=True,
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+    wall_s = time.perf_counter() - started
+    return {
+        "requests": requests,
+        "point": hottest,
+        "wall_seconds": round(wall_s, 3),
+        "throughput_rps": round(requests / wall_s, 3),
+    }

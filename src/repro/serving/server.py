@@ -1,0 +1,501 @@
+"""The experiment server: service core plus stdlib-only HTTP front end.
+
+Two layers, deliberately separable:
+
+:class:`ExperimentService`
+    The event-loop core.  ``resolve(request)`` takes one decoded JSON
+    request through the three-tier fast path — sharded cache hit,
+    singleflight coalesce, cold-point batch — and returns the payload
+    dict.  Tests and in-process clients drive it directly with no
+    sockets (:class:`repro.serving.client.InProcessClient`).
+
+:class:`ExperimentServer`
+    A hand-rolled HTTP/1.1 front end on :func:`asyncio.start_server`
+    (stdlib only, one request per connection, close-delimited bodies).
+    Routes are in :data:`ROUTES`; ``POST /v1/points`` streams JSONL in
+    completion order, one line per finished point.
+
+Deployment knobs live in :class:`ServerConfig`; ``docs/SERVING.md``
+documents every field and route (enforced by
+``tests/test_serving_docs.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.harness.cache import ResultCache, key_for_spec
+from repro.harness.parallel import execute_point_timed, persistent_pool
+from repro.serving.batcher import ColdPointBatcher
+from repro.serving.codec import (
+    ServingError,
+    decode_request,
+    result_digest,
+    result_payload,
+)
+from repro.serving.singleflight import SingleFlight
+
+#: Route table of the HTTP front end: (method, path) -> summary.
+#: docs/SERVING.md must document every row (tests/test_serving_docs.py).
+ROUTES = {
+    ("GET", "/v1/healthz"): "liveness probe ({'status': 'ok'})",
+    ("GET", "/v1/stats"): "serving, cache, and batcher statistics",
+    ("POST", "/v1/point"): "resolve one experiment point (JSON in/out)",
+    ("POST", "/v1/points"): (
+        "resolve a list of points; streams JSONL in completion order"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Deployment knobs (CLI: ``repro-dsm serve``; docs/SERVING.md).
+
+    ``jobs=0`` executes points on a single in-process worker thread —
+    zero fork cost, right for tests and one-shot scripts; ``jobs>0``
+    builds a :func:`~repro.harness.parallel.persistent_pool` of that
+    many worker processes, the production configuration.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8377
+    jobs: int = 0
+    batch_window_ms: float = 5.0
+    max_batch: int = 32
+    cache_dir: Optional[str] = None
+    no_cache: bool = False
+    refresh: bool = False
+    drain_timeout_s: float = 60.0
+
+    @classmethod
+    def describe(cls) -> Dict[str, str]:
+        """``{field: repr(default)}`` — the docs table contract."""
+        return {
+            f.name: repr(f.default) for f in dataclasses.fields(cls)
+        }
+
+
+@dataclass
+class ServeStats:
+    """Per-server counters, surfaced by ``GET /v1/stats``.
+
+    ``requests`` counts every point request accepted; each lands in
+    exactly one of ``cache_hits`` (tier 1), ``coalesced`` (tier 2), or
+    ``computed`` (tier 3, once its simulation finishes) — unless it
+    ends in ``errors``.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    computed: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def _warm_worker() -> int:
+    """Pool-worker warm-up: pre-import the simulation stack.
+
+    Submitted once per worker at :meth:`ExperimentService.start`, for
+    two reasons.  First, latency: the first real request should not
+    pay the NumPy/``repro`` import.  Second, and critically, fork
+    safety: the executor forks workers lazily on first submit, and by
+    then the event loop may have spawned helper threads (asyncio's
+    ``getaddrinfo`` runs in the default thread executor) whose held
+    locks a forked child would inherit mid-acquire and deadlock on.
+    Forcing every fork here — while the process is still
+    single-threaded — sidesteps that entirely.
+    """
+    from repro.apps import registry  # noqa: F401  (import cost is the point)
+    from repro.core import run_program  # noqa: F401
+    import os
+
+    return os.getpid()
+
+
+class ExperimentService:
+    """The three-tier resolver behind every serving entry point."""
+
+    def __init__(
+        self,
+        config: ServerConfig = ServerConfig(),
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.config = config
+        if cache is None and not config.no_cache:
+            cache = ResultCache(
+                cache_dir=(
+                    Path(config.cache_dir) if config.cache_dir else None
+                ),
+                refresh=config.refresh,
+            )
+        self.cache = cache
+        self.stats = ServeStats()
+        self.flight: Optional[SingleFlight] = None
+        self.batcher: Optional[ColdPointBatcher] = None
+        self._pool = None
+        self._started = False
+        self._closed = False
+
+    async def start(self) -> "ExperimentService":
+        """Bind to the running loop: build the pool and the batcher."""
+        if self._started:
+            return self
+        if self.config.jobs > 0:
+            self._pool = persistent_pool(self.config.jobs)
+            # Fork/warm every worker now, while single-threaded (see
+            # _warm_worker).  One submit per worker spawns the full
+            # complement; gather keeps start() honest about readiness.
+            await asyncio.gather(
+                *(
+                    asyncio.wrap_future(self._pool.submit(_warm_worker))
+                    for _ in range(self.config.jobs)
+                )
+            )
+        else:
+            # Single in-process worker thread: serialized execution, so
+            # per-spec SimOptions never race on the process globals.
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+        self.flight = SingleFlight()
+        self.batcher = ColdPointBatcher(
+            submit=lambda spec: self._pool.submit(
+                execute_point_timed, spec
+            ),
+            on_done=self._point_done,
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+        )
+        self._started = True
+        return self
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError(
+                "ExperimentService.start() must run inside the event "
+                "loop before the first resolve()"
+            )
+        if self._closed:
+            raise ServingError("server is shutting down", status=503)
+
+    def _point_done(self, key: str, outcome, error) -> None:
+        """Batcher completion: store, then wake every awaiter."""
+        if error is not None:
+            self.stats.errors += 1
+            self.flight.fail(key, error)
+            return
+        result, seconds = outcome
+        self.stats.computed += 1
+        if self.cache is not None:
+            try:
+                self.cache.put(key, result)
+            except OSError:
+                pass  # read-only cache dir: serve without storing
+        self.flight.resolve(key, (result, seconds))
+
+    async def resolve(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """One request through the three tiers; returns the payload."""
+        self._require_started()
+        self.stats.requests += 1
+        started = time.perf_counter()
+        spec = decode_request(request)
+        key = key_for_spec(spec)
+        if self.cache is not None:
+            result = self.cache.get(key)
+            if result is not None:
+                self.stats.cache_hits += 1
+                return self._payload(
+                    key, spec, result, "cache", None, started
+                )
+        future, leader = self.flight.begin(key)
+        if leader:
+            self.batcher.admit(key, spec)
+        else:
+            if self.cache is not None:
+                self.cache.stats.coalesced += 1
+            self.stats.coalesced += 1
+        result, seconds = await future
+        source = "computed" if leader else "coalesced"
+        return self._payload(key, spec, result, source, seconds, started)
+
+    def _payload(
+        self, key, spec, result, source, compute_seconds, started
+    ) -> Dict[str, Any]:
+        # Everything under "result" (and its "digest") is a pure
+        # function of the simulation; the envelope around it records
+        # how *this* request was served.
+        return {
+            "key": key,
+            "app": spec.app,
+            "variant": spec.variant_name,
+            "nprocs": spec.nprocs,
+            "source": source,
+            "compute_seconds": compute_seconds,
+            "serve_seconds": time.perf_counter() - started,
+            "digest": result_digest(result),
+            "result": result_payload(result),
+        }
+
+    async def resolve_many(self, requests: List[Dict[str, Any]]):
+        """Async-iterate payloads in completion order (JSONL feed).
+
+        Each yielded payload carries ``index``, its position in the
+        request list, so clients can reorder; errors yield an
+        ``{"index": i, "error": ..., "status": ...}`` line instead of
+        killing the stream.
+        """
+        self._require_started()
+
+        async def one(i: int, request: Dict[str, Any]):
+            try:
+                payload = await self.resolve(request)
+                payload["index"] = i
+                return payload
+            except ServingError as exc:
+                return {
+                    "index": i,
+                    "error": str(exc),
+                    "status": exc.status,
+                }
+            except Exception as exc:
+                return {"index": i, "error": str(exc), "status": 500}
+
+        tasks = [
+            asyncio.ensure_future(one(i, request))
+            for i, request in enumerate(requests)
+        ]
+        for completed in asyncio.as_completed(tasks):
+            yield await completed
+
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``GET /v1/stats`` body: serving + cache + batcher."""
+        payload: Dict[str, Any] = {
+            "serving": self.stats.as_dict(),
+            "inflight": len(self.flight) if self.flight else 0,
+            "batcher": (
+                {
+                    "batches": self.batcher.batches,
+                    "points": self.batcher.points,
+                    "largest_batch": self.batcher.largest_batch,
+                    "window_ms": self.config.batch_window_ms,
+                }
+                if self.batcher
+                else None
+            ),
+            "cache": None,
+        }
+        if self.cache is not None:
+            payload["cache"] = {
+                "stats": self.cache.stats.as_dict(),
+                **self.cache.summary(),
+            }
+        return payload
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop admitting, optionally drain in-flight work, stop pool.
+
+        ``drain=True`` (the graceful path) flushes the batcher and
+        waits — bounded by ``config.drain_timeout_s`` — until every
+        in-flight request has its result; clients already awaiting get
+        their payloads.  ``drain=False`` fails outstanding flights
+        immediately.
+        """
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        if drain:
+            try:
+                await asyncio.wait_for(
+                    self.batcher.drain(),
+                    timeout=self.config.drain_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                pass
+        for key_future in self.flight.outstanding():
+            if not key_future.done():
+                key_future.set_exception(
+                    ServingError("server shut down", status=503)
+                )
+        self._pool.shutdown(wait=drain)
+
+
+class ExperimentServer:
+    """HTTP/1.1 front end over an :class:`ExperimentService`."""
+
+    def __init__(
+        self,
+        service: Optional[ExperimentService] = None,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        if service is None:
+            service = ExperimentService(config or ServerConfig())
+        self.service = service
+        self.config = service.config
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: Actual bound address, available after :meth:`start`
+        #: (``port=0`` requests an ephemeral port).
+        self.address: Optional[Tuple[str, int]] = None
+
+    async def start(self) -> Tuple[str, int]:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting connections, then drain the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.shutdown(drain=drain)
+
+    # -- one connection, one request ----------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            await self._dispatch(method, path, body, writer)
+        except ConnectionError:
+            pass
+        except Exception as exc:
+            try:
+                await self._respond_json(
+                    writer, 500, {"error": f"internal error: {exc}"}
+                )
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader):
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        try:
+            method, path, _version = (
+                request_line.decode("latin-1").split(None, 2)
+            )
+        except ValueError:
+            return None
+        length = 0
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, body
+
+    async def _dispatch(self, method, path, body, writer) -> None:
+        if (method, path) not in ROUTES:
+            await self._respond_json(
+                writer,
+                404,
+                {
+                    "error": f"no route {method} {path}",
+                    "routes": [f"{m} {p}" for m, p in sorted(ROUTES)],
+                },
+            )
+            return
+        if path == "/v1/healthz":
+            await self._respond_json(writer, 200, {"status": "ok"})
+        elif path == "/v1/stats":
+            await self._respond_json(
+                writer, 200, self.service.stats_payload()
+            )
+        elif path == "/v1/point":
+            try:
+                request = json.loads(body or b"{}")
+                payload = await self.service.resolve(request)
+            except ServingError as exc:
+                await self._respond_json(
+                    writer, exc.status, {"error": str(exc)}
+                )
+                return
+            except json.JSONDecodeError as exc:
+                await self._respond_json(
+                    writer, 400, {"error": f"bad JSON body: {exc}"}
+                )
+                return
+            await self._respond_json(writer, 200, payload)
+        elif path == "/v1/points":
+            await self._stream_points(body, writer)
+
+    async def _stream_points(self, body, writer) -> None:
+        try:
+            decoded = json.loads(body or b"{}")
+            requests = decoded.get("points")
+            if not isinstance(requests, list):
+                raise ServingError(
+                    "body must be {'points': [request, ...]}"
+                )
+        except json.JSONDecodeError as exc:
+            await self._respond_json(
+                writer, 400, {"error": f"bad JSON body: {exc}"}
+            )
+            return
+        except ServingError as exc:
+            await self._respond_json(
+                writer, exc.status, {"error": str(exc)}
+            )
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        async for payload in self.service.resolve_many(requests):
+            writer.write(
+                json.dumps(payload, sort_keys=True).encode() + b"\n"
+            )
+            await writer.drain()
+
+    async def _respond_json(self, writer, status, payload) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            500: "Internal Server Error",
+            503: "Service Unavailable",
+        }.get(status, "Error")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode()
+        )
+        writer.write(body)
+        await writer.drain()

@@ -1,0 +1,61 @@
+"""One in-flight computation per fingerprint, N awaiters.
+
+The classic singleflight pattern, asyncio flavour: the first request
+for a cache key becomes the *leader* and owns the computation; every
+identical request that arrives before the leader finishes awaits the
+same :class:`asyncio.Future` instead of starting another simulation.
+The simulator is deterministic, so the N awaiters are not getting an
+approximation — they get exactly the bytes their own run would have
+produced, minus the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Tuple
+
+
+class SingleFlight:
+    """In-flight futures keyed by result-cache fingerprint."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        #: Requests that joined an existing flight instead of leading.
+        self.coalesced = 0
+        #: Flights started (leaders admitted downstream).
+        self.led = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def begin(self, key: str) -> Tuple[asyncio.Future, bool]:
+        """Join the flight for ``key``; returns ``(future, leader)``.
+
+        ``leader`` is True for exactly the first caller per key: that
+        caller must arrange for :meth:`resolve` or :meth:`fail` to be
+        called (typically by admitting the point to the batcher).
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.led += 1
+        return future, True
+
+    def resolve(self, key: str, outcome) -> None:
+        """Deliver ``outcome`` to every awaiter and retire the flight."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(outcome)
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Deliver ``error`` to every awaiter and retire the flight."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def outstanding(self) -> List[asyncio.Future]:
+        """The live futures (graceful shutdown drains these)."""
+        return list(self._inflight.values())

@@ -21,7 +21,7 @@ from repro.harness.cache import (
 )
 from repro.harness.cli import main
 from repro.harness.runner import BatchPoint, ExperimentContext
-from repro.harness.parallel import PointSpec, run_points
+from repro.harness.parallel import PointSpec, persistent_pool, run_points
 
 
 def _specs():
@@ -57,6 +57,37 @@ def test_run_points_parallel_matches_serial():
     assert len(serial) == len(fanned) == len(specs)
     for a, b in zip(serial, fanned):
         assert _signature(a) == _signature(b)
+
+
+def test_persistent_pool_reused_across_batches_matches_serial():
+    specs = _specs()[:2]
+    serial = run_points(specs, jobs=1)
+    pool = persistent_pool(2)
+    try:
+        first = run_points(specs, pool=pool)
+        second = run_points(specs, pool=pool)  # same workers, no respawn
+        assert run_points([], pool=pool) == []
+    finally:
+        pool.shutdown()
+    for a, b, c in zip(serial, first, second):
+        assert _signature(a) == _signature(b) == _signature(c)
+
+
+def test_context_pool_fans_batches_across_persistent_workers():
+    points = [
+        BatchPoint("sor", CSM_POLL, 4),
+        BatchPoint("sor", TMK_MC_POLL, 4),
+    ]
+    serial = ExperimentContext(scale="tiny", jobs=1).run_batch(points)
+    pool = persistent_pool(2)
+    try:
+        ctx = ExperimentContext(scale="tiny", pool=pool)
+        pooled = ctx.run_batch(points)
+        again = ctx.run_batch(points)  # second batch reuses the pool
+    finally:
+        pool.shutdown()
+    for a, b, c in zip(serial, pooled, again):
+        assert _signature(a) == _signature(b) == _signature(c)
 
 
 def test_run_batch_jobs_matches_serial_context():
