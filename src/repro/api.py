@@ -194,6 +194,55 @@ def run_point(
     return result
 
 
+def cache_info(
+    cache_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Programmatic view of the on-disk result cache.
+
+    Returns ``{"stats": CacheStats.as_dict(), **ResultCache.summary()}``
+    — the same shape ``repro-dsm cache stats`` prints and ``GET
+    /v1/stats`` nests under ``"cache"``.  ``cache_dir`` defaults to the
+    standard location (``REPRO_DSM_CACHE`` / ``~/.cache/repro-dsm``).
+    The ``stats`` block counts only *this* handle's activity (a fresh
+    handle reports zeros); the surrounding summary — entries, bytes,
+    configured bounds — reflects the directory itself.
+    """
+    from pathlib import Path as _Path
+
+    from repro.harness.cache import ResultCache
+
+    cache = ResultCache(
+        cache_dir=_Path(cache_dir) if cache_dir else None
+    )
+    return {"stats": cache.stats.as_dict(), **cache.summary()}
+
+
+def cache_prune(
+    max_bytes: Optional[int] = None,
+    max_entries: Optional[int] = None,
+    *,
+    cache_dir: Optional[str] = None,
+    clear: bool = False,
+) -> Dict[str, Any]:
+    """Evict cached results down to the given bounds (LRU-by-atime).
+
+    ``max_bytes``/``max_entries`` bound the directory after pruning
+    (``0`` or ``None`` leaves that axis unbounded); ``clear=True``
+    removes everything.  Returns the :meth:`ResultCache.prune` report:
+    ``{"evicted", "reclaimed_bytes", "entries", "bytes"}``.
+    """
+    from pathlib import Path as _Path
+
+    from repro.harness.cache import ResultCache
+
+    cache = ResultCache(
+        cache_dir=_Path(cache_dir) if cache_dir else None
+    )
+    if clear:
+        return cache.clear()
+    return cache.prune(max_bytes=max_bytes, max_entries=max_entries)
+
+
 def build_system(
     variant: VariantLike,
     nprocs: int,
@@ -285,6 +334,8 @@ __all__ = [
     "SimOptions",
     "System",
     "build_system",
+    "cache_info",
+    "cache_prune",
     "list_apps",
     "point_spec",
     "run_experiment",

@@ -184,7 +184,10 @@ class CacheStats:
     the serving layer's singleflight folded them onto an identical
     in-flight computation (``repro.serving``).  ``migrated`` counts
     legacy flat-layout entries moved into their shard subdirectory on
-    first hit.
+    first hit.  ``evictions`` counts entries removed to keep a bounded
+    cache (``max_bytes`` / ``max_entries``) within its limits —
+    whether by :meth:`ResultCache.put` making room or by an explicit
+    :meth:`ResultCache.prune` (the serving layer's background sweep).
     """
 
     hits: int = 0
@@ -192,6 +195,7 @@ class CacheStats:
     stores: int = 0
     coalesced: int = 0
     migrated: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for result envelopes and JSON payloads."""
@@ -201,6 +205,7 @@ class CacheStats:
             "stores": self.stores,
             "coalesced": self.coalesced,
             "migrated": self.migrated,
+            "evictions": self.evictions,
         }
 
     def __str__(self) -> str:
@@ -217,16 +222,39 @@ class ResultCache:
     ``refresh=True`` turns every lookup into a miss (results are still
     stored), recomputing and overwriting existing entries — the CLI's
     ``--refresh`` escape hatch.
+
+    ``max_bytes`` / ``max_entries`` (0 = unbounded, the default) bound
+    the cache: :meth:`put` makes room *before* installing a new entry,
+    evicting least-recently-used entries first, so the configured bound
+    is never exceeded — not even transiently.  Recency is tracked in
+    memory (seeded from file access times on first use, refreshed by
+    every :meth:`get` hit, which also touches the file's ``atime`` so
+    recency survives across processes).  :meth:`prune` enforces bounds
+    on demand — the serving layer's background sweep hook — and
+    :meth:`clear` empties the cache.  All evictions are counted in
+    ``stats.evictions``.
     """
 
     cache_dir: Optional[Path] = None
     refresh: bool = False
     stats: CacheStats = field(default_factory=CacheStats)
+    max_bytes: int = 0
+    max_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.cache_dir is None:
             self.cache_dir = default_cache_dir()
         self.cache_dir = Path(self.cache_dir)
+        self.max_bytes = int(self.max_bytes or 0)
+        self.max_entries = int(self.max_entries or 0)
+        # LRU index: key -> entry size, oldest first.  Built lazily by
+        # _index() on the first operation that needs it.
+        self._lru: Optional[Dict[str, int]] = None
+        self._lru_bytes = 0
+
+    @property
+    def bounded(self) -> bool:
+        return bool(self.max_bytes or self.max_entries)
 
     def _path(self, key: str) -> Path:
         return self.cache_dir / f"{key[:2]}" / f"{key}.pkl"
@@ -258,7 +286,9 @@ class ResultCache:
         Looks in the sharded layout first, then falls back to the
         legacy flat layout; a flat hit migrates the entry into its
         shard subdirectory so the fallback is paid at most once per
-        entry.
+        entry.  On a bounded cache every hit refreshes the entry's
+        recency (in memory and, best-effort, the file's ``atime``) so
+        LRU eviction spares the hot set.
         """
         if self.refresh:
             self.stats.misses += 1
@@ -272,6 +302,8 @@ class ResultCache:
                 return None
             self._migrate(key, legacy)
         self.stats.hits += 1
+        if self.bounded:
+            self._touch(key)
         return result
 
     def _migrate(self, key: str, legacy: Path) -> None:
@@ -285,7 +317,13 @@ class ResultCache:
         self.stats.migrated += 1
 
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` (atomic rename)."""
+        """Store ``result`` under ``key`` (atomic rename).
+
+        On a bounded cache, room is made *before* the rename installs
+        the entry (LRU evictions first), so the byte/entry bound holds
+        at every instant — a stats scrape mid-load never observes an
+        over-budget cache.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -294,6 +332,9 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as stream:
                 pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            size = os.stat(tmp).st_size
+            if self.bounded:
+                self._make_room(size, exclude=key)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -302,6 +343,146 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        if self.bounded:
+            index = self._index()
+            self._lru_bytes += size - index.pop(key, 0)
+            index[key] = size  # newest position
+
+    # -- bounds: LRU index, eviction, pruning --------------------------
+
+    def _index(self) -> Dict[str, int]:
+        """The in-memory LRU index (key -> bytes), oldest first.
+
+        Built on first use from one directory scan, ordered by file
+        access time so recency carries over from previous processes;
+        after that, :meth:`get`/:meth:`put` maintain it incrementally.
+        """
+        if self._lru is None:
+            found = []
+            try:
+                children = list(self.cache_dir.iterdir())
+            except OSError:
+                children = []
+            for child in children:
+                entries = []
+                if child.is_dir() and len(child.name) == 2:
+                    # pathlib's glob matches dotfiles, so in-flight
+                    # ``.tmp-*.pkl`` writes must be filtered or they
+                    # count as phantom entries mid-put.
+                    entries = [
+                        e
+                        for e in child.glob("*.pkl")
+                        if not e.name.startswith(".")
+                    ]
+                elif (
+                    child.suffix == ".pkl"
+                    and not child.name.startswith(".")
+                ):
+                    entries = [child]
+                for entry in entries:
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    found.append(
+                        (max(stat.st_atime, stat.st_mtime),
+                         entry.stem, stat.st_size)
+                    )
+            found.sort()
+            self._lru = {key: size for _, key, size in found}
+            self._lru_bytes = sum(self._lru.values())
+        return self._lru
+
+    def _touch(self, key: str) -> None:
+        """Move ``key`` to the most-recent end of the LRU index."""
+        index = self._index()
+        size = index.pop(key, None)
+        if size is None:
+            return
+        index[key] = size
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
+
+    def _make_room(self, incoming: int, exclude: str = "") -> None:
+        """Evict LRU entries until ``incoming`` bytes fit the bounds.
+
+        ``exclude`` is the key about to be written: never evicted here
+        (its old copy is being replaced), and its current size is
+        discounted when projecting the post-write totals.
+        """
+        index = self._index()
+        while True:
+            replaced = index.get(exclude, 0)
+            entries_after = len(index) + (0 if exclude in index else 1)
+            bytes_after = self._lru_bytes - replaced + incoming
+            over = (
+                self.max_entries and entries_after > self.max_entries
+            ) or (self.max_bytes and bytes_after > self.max_bytes)
+            if not over:
+                return
+            victim = next((k for k in index if k != exclude), None)
+            if victim is None:
+                return
+            self._evict(victim)
+
+    def _evict(self, key: str) -> None:
+        index = self._index()
+        size = index.pop(key, 0)
+        self._lru_bytes -= size
+        for path in (self._path(key), self._legacy_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+        self.stats.evictions += 1
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> Dict[str, int]:
+        """Enforce the byte/entry bounds now; returns an eviction report.
+
+        ``max_bytes`` / ``max_entries`` override the configured bounds
+        for this call (0 = unbounded; ``max_entries=0`` with
+        ``max_bytes=0`` therefore evicts nothing).  This is the
+        serving layer's background sweep hook and the engine behind
+        ``repro-dsm cache prune`` / :func:`repro.api.cache_prune`.
+        """
+        bytes_bound = self.max_bytes if max_bytes is None else max_bytes
+        entry_bound = (
+            self.max_entries if max_entries is None else max_entries
+        )
+        index = self._index()
+        before_evictions = self.stats.evictions
+        before_bytes = self._lru_bytes
+        while index and (
+            (entry_bound and len(index) > entry_bound)
+            or (bytes_bound and self._lru_bytes > bytes_bound)
+        ):
+            self._evict(next(iter(index)))
+        return {
+            "evicted": self.stats.evictions - before_evictions,
+            "reclaimed_bytes": before_bytes - self._lru_bytes,
+            "entries": len(index),
+            "bytes": self._lru_bytes,
+        }
+
+    def clear(self) -> Dict[str, int]:
+        """Delete every entry; returns the same report as :meth:`prune`."""
+        index = self._index()
+        before = len(index)
+        before_bytes = self._lru_bytes
+        while index:
+            self._evict(next(iter(index)))
+        return {
+            "evicted": before,
+            "reclaimed_bytes": before_bytes,
+            "entries": 0,
+            "bytes": 0,
+        }
 
     def summary(self) -> Dict[str, Any]:
         """One scan of the cache directory: entry and shard counts.
@@ -321,7 +502,11 @@ class ResultCache:
             children = []
         for child in children:
             if child.is_dir() and len(child.name) == 2:
-                shard_entries = list(child.glob("*.pkl"))
+                shard_entries = [
+                    e
+                    for e in child.glob("*.pkl")
+                    if not e.name.startswith(".")
+                ]
                 if shard_entries:
                     shards += 1
                     entries += len(shard_entries)
@@ -338,4 +523,6 @@ class ResultCache:
             "shards": shards,
             "legacy_entries": legacy,
             "bytes": total_bytes,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
         }

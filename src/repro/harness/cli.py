@@ -428,6 +428,76 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="treat every lookup as a miss (recompute and overwrite)",
     )
+    sv.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="close a keep-alive connection after S idle seconds "
+        "(0 = never)",
+    )
+    sv.add_argument(
+        "--max-requests-per-conn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="close a keep-alive connection after N requests "
+        "(0 = unlimited)",
+    )
+    sv.add_argument(
+        "--max-inflight",
+        type=int,
+        default=0,
+        metavar="N",
+        help="reject point requests with 429 + Retry-After once N are "
+        "in flight (0 = unbounded)",
+    )
+    sv.add_argument(
+        "--negative-ttl",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="seconds an invalid request body stays in the negative "
+        "cache",
+    )
+    sv.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=0,
+        metavar="B",
+        help="bound the result cache to B bytes, LRU eviction "
+        "(0 = unbounded)",
+    )
+    sv.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bound the result cache to N entries, LRU eviction "
+        "(0 = unbounded)",
+    )
+    sv.add_argument(
+        "--cache-sweep-interval",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="background cache-bound sweep period in seconds "
+        "(0 = inline eviction only)",
+    )
+    sv.add_argument(
+        "--hot-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="in-memory hot payload tier size (0 disables)",
+    )
+    sv.add_argument(
+        "--max-sweep-points",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="largest point count one POST /v1/sweep may expand to",
+    )
 
     bs = sub.add_parser(
         "bench-serve",
@@ -480,7 +550,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless coalesce rate > 0 and no request "
         "failed (the CI serve-smoke gate)",
     )
+    bs.add_argument(
+        "--per-request",
+        action="store_true",
+        help="open a fresh connection per request (the PR 8 transport) "
+        "instead of the default keep-alive sessions",
+    )
+    bs.add_argument(
+        "--compare-connections",
+        action="store_true",
+        help="run the identical schedule over per-request connections "
+        "AND keep-alive sessions; report keepalive_speedup",
+    )
+    bs.add_argument(
+        "--bad-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replace every Nth request with a known-invalid body to "
+        "exercise the negative cache (its 400s are not failures)",
+    )
+    bs.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bound the server's result cache to N entries (evictions "
+        "land in the report's server.cache stats)",
+    )
+    bs.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=0,
+        metavar="B",
+        help="bound the server's result cache to B bytes",
+    )
     bs.add_argument("--out", metavar="PATH", default=None)
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect or trim the on-disk result cache "
+        "(stats | prune | clear)",
+    )
+    ca.add_argument(
+        "action",
+        choices=("stats", "prune", "clear"),
+        help="stats: print the cache summary as JSON (the same shape "
+        "GET /v1/stats nests under 'cache'); prune: LRU-evict down to "
+        "the given bounds; clear: remove every entry",
+    )
+    ca.add_argument("--cache-dir", metavar="DIR", default=None)
+    ca.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help="prune: byte bound to enforce (0 = unbounded)",
+    )
+    ca.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prune: entry bound to enforce (0 = unbounded)",
+    )
 
     one = sub.add_parser("run", help="one application run, in detail")
     _add_common(one)
@@ -576,6 +709,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         refresh=args.refresh,
+        idle_timeout_s=args.idle_timeout,
+        max_requests_per_conn=args.max_requests_per_conn,
+        max_inflight=args.max_inflight,
+        negative_ttl_s=args.negative_ttl,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_entries=args.cache_max_entries,
+        cache_sweep_interval_s=args.cache_sweep_interval,
+        hot_entries=args.hot_entries,
+        max_sweep_points=args.max_sweep_points,
     )
 
     async def run() -> None:
@@ -644,6 +786,11 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         naive_requests=args.naive_requests,
         http=not args.in_process,
+        keepalive=not args.per_request,
+        compare_connections=args.compare_connections,
+        bad_every=args.bad_every,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -675,12 +822,32 @@ def _run_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cache(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand: stats / prune / clear as JSON."""
+    import json
+
+    if args.action == "stats":
+        payload = api.cache_info(cache_dir=args.cache_dir)
+    elif args.action == "prune":
+        payload = api.cache_prune(
+            max_bytes=args.max_bytes,
+            max_entries=args.max_entries,
+            cache_dir=args.cache_dir,
+        )
+    else:  # clear
+        payload = api.cache_prune(cache_dir=args.cache_dir, clear=True)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "bench-serve":
         return _run_bench_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.profile:
         import cProfile
 

@@ -25,14 +25,23 @@ semantics, and deployment knobs.
 """
 
 from repro.serving.batcher import ColdPointBatcher
-from repro.serving.client import HttpClient, InProcessClient
+from repro.serving.client import (
+    HttpClient,
+    InProcessClient,
+    ServingClient,
+)
 from repro.serving.codec import (
+    WIRE_VERSION,
+    NegativeCache,
     ServingError,
     decode_request,
     encode_result,
+    expand_sweep,
     request_kwargs,
     result_digest,
     result_payload,
+    upconvert_request,
+    validate_request,
 )
 from repro.serving.server import (
     ExperimentServer,
@@ -48,13 +57,19 @@ __all__ = [
     "ExperimentService",
     "HttpClient",
     "InProcessClient",
+    "NegativeCache",
     "ServeStats",
     "ServerConfig",
+    "ServingClient",
     "ServingError",
     "SingleFlight",
+    "WIRE_VERSION",
     "decode_request",
     "encode_result",
+    "expand_sweep",
     "request_kwargs",
     "result_digest",
     "result_payload",
+    "upconvert_request",
+    "validate_request",
 ]

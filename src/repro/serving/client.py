@@ -1,17 +1,29 @@
-"""Awaitable clients for the experiment server.
+"""The serving client: one facade over every transport (v2).
 
-:class:`InProcessClient`
-    Wraps an :class:`~repro.serving.server.ExperimentService` directly
-    — no sockets, no serialization of the request — so tests and
-    benchmarks exercise the exact three-tier resolution path the HTTP
-    front end uses, deterministically and fast.
+:class:`ServingClient`
+    The client surface.  Construct it over a live HTTP server
+    (``ServingClient(host, port)`` — a keep-alive session that reuses
+    one connection across requests, reconnecting transparently if the
+    server closed it) or over an in-process
+    :class:`~repro.serving.server.ExperimentService`
+    (``ServingClient(service=svc)`` — no sockets, same payloads).
+    ``keepalive=False`` opens a fresh connection per request, the PR 8
+    behaviour, kept measurable so benchmarks can isolate the
+    connection-setup cost.
 
-:class:`HttpClient`
-    A stdlib-only asyncio HTTP/1.1 client for a running
-    :class:`~repro.serving.server.ExperimentServer` (one connection per
-    request, close-delimited responses — mirroring the server).
+    Async methods (``point``, ``points``, ``resolve``, ``sweep``,
+    ``stream_points``, ``stats``, ``healthz``) are the primary API;
+    each has a ``*_sync`` twin that runs on a lazily started
+    background event-loop thread, so synchronous callers get the same
+    persistent session.
 
-Both speak the same request objects (see
+:class:`HttpClient` / :class:`InProcessClient`
+    Deprecated PR 8 names, now thin aliases over :class:`ServingClient`
+    (per-request connections / in-process respectively).  Each warns
+    once per process on first construction, mirroring the ``SimOptions``
+    env-alias pattern.
+
+All transports speak the same request objects (see
 :mod:`repro.serving.codec`) and return the same payload dicts.
 """
 
@@ -19,9 +31,28 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, AsyncIterator, Dict, List, Optional
+import sys
+import threading
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.serving.codec import ServingError
+
+_warned_aliases: set = set()
+
+
+def _warn_once(name: str, replacement: str) -> None:
+    if name in _warned_aliases:
+        return
+    _warned_aliases.add(name)
+    print(
+        f"repro-dsm: {name} is deprecated; use {replacement}",
+        file=sys.stderr,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Test hook: make the next alias construction warn again."""
+    _warned_aliases.clear()
 
 
 def _request(app: str, variant=None, nprocs: int = 1, **fields) -> Dict:
@@ -32,85 +63,276 @@ def _request(app: str, variant=None, nprocs: int = 1, **fields) -> Dict:
     return request
 
 
-class InProcessClient:
-    """Drive a service on the current event loop, no sockets."""
+def _public(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip transport-private (underscore) keys from a service payload.
 
-    def __init__(self, service) -> None:
+    The HTTP encoder consumes these (``_result_json`` — the hot tier's
+    pre-serialised result); in-process callers must see the same dict
+    an HTTP client would decode.
+    """
+    payload.pop("_result_json", None)
+    return payload
+
+
+class _LoopThread:
+    """A daemon thread running one event loop, for the sync wrappers.
+
+    The keep-alive session's reader/writer are bound to the loop that
+    created them; running every ``*_sync`` call on this one thread
+    keeps a single persistent connection alive across synchronous
+    calls (``asyncio.run`` per call would tear it down each time).
+    """
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever,
+            name="repro-serving-client",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def run(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result()
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=2)
+
+
+class ServingClient:
+    """Talk to the serving layer — HTTP keep-alive or in-process."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        *,
+        service=None,
+        keepalive: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
         self.service = service
+        self.keepalive = keepalive and service is None
+        self._conn: Optional[Tuple[Any, Any]] = None
+        self._lock: Optional[asyncio.Lock] = None
+        self._loop_thread: Optional[_LoopThread] = None
+        #: Session diagnostics: connections opened / requests reusing one.
+        self.connections_opened = 0
+        self.requests_reused = 0
+
+    # -- the async API -------------------------------------------------
+
+    async def healthz(self) -> Dict[str, Any]:
+        if self.service is not None:
+            return {"status": "ok"}
+        return await self._json("GET", "/v1/healthz")
+
+    async def stats(self) -> Dict[str, Any]:
+        if self.service is not None:
+            return self.service.stats_payload()
+        return await self._json("GET", "/v1/stats")
 
     async def point(
         self, app: str, variant=None, nprocs: int = 1, **fields
     ) -> Dict[str, Any]:
         """Resolve one point; returns the payload dict."""
-        return await self.service.resolve(
-            _request(app, variant, nprocs, **fields)
-        )
+        return await self.resolve(_request(app, variant, nprocs, **fields))
 
     async def resolve(self, request: Dict[str, Any]) -> Dict[str, Any]:
         """Resolve one already-built request object."""
-        return await self.service.resolve(request)
+        if self.service is not None:
+            return _public(await self.service.resolve(request))
+        return await self._json("POST", "/v1/point", request)
 
     async def points(
         self, requests: List[Dict[str, Any]]
     ) -> List[Dict[str, Any]]:
-        """Resolve many requests concurrently, in request order."""
-        return await asyncio.gather(
-            *(self.service.resolve(request) for request in requests)
-        )
+        """Resolve many requests; returns payloads in request order."""
+        if self.service is not None:
+            resolved = await asyncio.gather(
+                *(self.service.resolve(request) for request in requests)
+            )
+            return [_public(payload) for payload in resolved]
+        ordered: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        async for payload in self.stream_points(requests):
+            ordered[payload["index"]] = payload
+        missing = [i for i, p in enumerate(ordered) if p is None]
+        if missing:
+            raise ServingError(
+                f"stream ended without results for indices {missing}",
+                status=502,
+            )
+        return ordered
 
-    async def stats(self) -> Dict[str, Any]:
-        return self.service.stats_payload()
+    async def stream_points(
+        self, requests: List[Dict[str, Any]]
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield payloads as the server completes them (JSONL order)."""
+        if self.service is not None:
+            async for payload in self.service.resolve_many(requests):
+                yield _public(payload)
+            return
+        async for line in self._stream(
+            "POST", "/v1/points", {"points": requests}
+        ):
+            yield line
 
+    async def sweep(
+        self, request: Dict[str, Any]
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Expand a sweep server-side; yield its JSONL lines.
 
-class HttpClient:
-    """Talk to a live server over TCP (stdlib asyncio only)."""
+        The first line is the preamble ``{"sweep": {"kind": ...,
+        "points": n}}``; every following line is a point payload (or an
+        ``{"index", "error", "status"}`` line), in completion order.
+        """
+        if self.service is not None:
+            points = self.service.expand(request)
+            yield {
+                "sweep": {
+                    "kind": request.get("kind"),
+                    "points": len(points),
+                }
+            }
+            async for payload in self.service.resolve_many(points):
+                yield _public(payload)
+            return
+        async for line in self._stream("POST", "/v1/sweep", request):
+            yield line
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8377) -> None:
-        self.host = host
-        self.port = port
+    async def sweep_points(
+        self, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Run a sweep to completion; points come back in index order.
 
-    async def _roundtrip(
-        self, method: str, path: str, body: Optional[bytes] = None
-    ):
-        """One request; returns ``(status, reader, writer)`` with the
-        reader positioned at the start of the response body."""
-        reader, writer = await asyncio.open_connection(
-            self.host, self.port
-        )
+        Returns ``{"sweep": preamble, "points": [...], "errors": [...]}``.
+        """
+        meta: Dict[str, Any] = {}
+        points: List[Dict[str, Any]] = []
+        errors: List[Dict[str, Any]] = []
+        async for line in self.sweep(request):
+            if "sweep" in line and not meta:
+                meta = line["sweep"]
+            elif "error" in line:
+                errors.append(line)
+            else:
+                points.append(line)
+        points.sort(key=lambda p: p["index"])
+        return {"sweep": meta, "points": points, "errors": errors}
+
+    async def close(self) -> None:
+        """Close the keep-alive session (no-op for other transports)."""
+        if self._lock is None:
+            await self._close_conn()
+            return
+        async with self._lock:
+            await self._close_conn()
+
+    # -- sync wrappers -------------------------------------------------
+
+    def _sync(self, coro):
+        if self._loop_thread is None:
+            self._loop_thread = _LoopThread()
+        return self._loop_thread.run(coro)
+
+    def healthz_sync(self) -> Dict[str, Any]:
+        return self._sync(self.healthz())
+
+    def stats_sync(self) -> Dict[str, Any]:
+        return self._sync(self.stats())
+
+    def point_sync(
+        self, app: str, variant=None, nprocs: int = 1, **fields
+    ) -> Dict[str, Any]:
+        return self._sync(self.point(app, variant, nprocs, **fields))
+
+    def resolve_sync(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._sync(self.resolve(request))
+
+    def points_sync(
+        self, requests: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        return self._sync(self.points(requests))
+
+    def sweep_sync(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return self._sync(self.sweep_points(request))
+
+    def close_sync(self) -> None:
+        if self._loop_thread is None:
+            return
+        self._loop_thread.run(self.close())
+        self._loop_thread.stop()
+        self._loop_thread = None
+
+    # -- HTTP transport ------------------------------------------------
+
+    async def _close_conn(self) -> None:
+        if self._conn is None:
+            return
+        _reader, writer = self._conn
+        self._conn = None
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    def _head(self, method, path, body, keep_alive) -> bytes:
         head = f"{method} {path} HTTP/1.1\r\nHost: {self.host}\r\n"
         if body:
             head += (
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
             )
-        head += "Connection: close\r\n\r\n"
-        writer.write(head.encode() + (body or b""))
-        await writer.drain()
+        head += (
+            "Connection: keep-alive\r\n\r\n"
+            if keep_alive
+            else "Connection: close\r\n\r\n"
+        )
+        return head.encode()
+
+    async def _read_head(self, reader):
+        """Parse a response's status line + headers."""
         status_line = await reader.readline()
+        if not status_line:
+            # EOF before a status line: the server closed the
+            # connection (idle timeout, request limit, shutdown).
+            # Surface it as a connection error so the keep-alive
+            # session's retry-once path can take it.
+            raise ConnectionResetError("connection closed by server")
         try:
             status = int(status_line.split()[1])
         except (IndexError, ValueError):
-            writer.close()
             raise ServingError(
                 f"malformed response: {status_line!r}", status=502
             )
+        headers: Dict[str, str] = {}
         while True:
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
                 break
-        return status, reader, writer
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
 
     async def _json(self, method: str, path: str, payload=None):
         body = (
             json.dumps(payload).encode() if payload is not None else None
         )
-        status, reader, writer = await self._roundtrip(method, path, body)
-        raw = await reader.read(-1)
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionError, OSError):
-            pass
+        if self.keepalive:
+            status, raw = await self._session_roundtrip(method, path, body)
+        else:
+            status, reader, writer = await self._roundtrip(
+                method, path, body
+            )
+            raw = await reader.read(-1)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
         decoded = json.loads(raw) if raw else {}
         if status != 200:
             raise ServingError(
@@ -118,28 +340,76 @@ class HttpClient:
             )
         return decoded
 
-    async def healthz(self) -> Dict[str, Any]:
-        return await self._json("GET", "/v1/healthz")
+    async def _session_roundtrip(self, method, path, body):
+        """One request over the persistent connection (serialised).
 
-    async def stats(self) -> Dict[str, Any]:
-        return await self._json("GET", "/v1/stats")
+        A connection the server closed (idle timeout,
+        ``max_requests_per_conn``) surfaces as a reset/EOF on the next
+        use; the session retries exactly once on a fresh connection.
+        A failure on a connection opened for *this* request is real
+        and propagates.
+        """
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        async with self._lock:
+            for attempt in (0, 1):
+                fresh = self._conn is None
+                if fresh:
+                    self._conn = await asyncio.open_connection(
+                        self.host, self.port
+                    )
+                    self.connections_opened += 1
+                else:
+                    self.requests_reused += 1
+                reader, writer = self._conn
+                try:
+                    writer.write(
+                        self._head(method, path, body, keep_alive=True)
+                        + (body or b"")
+                    )
+                    await writer.drain()
+                    status, headers = await self._read_head(reader)
+                    length = int(headers.get("content-length", 0))
+                    raw = (
+                        await reader.readexactly(length) if length else b""
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.IncompleteReadError,
+                ):
+                    await self._close_conn()
+                    if fresh or attempt:
+                        raise
+                    continue
+                if headers.get("connection", "").lower() == "close":
+                    await self._close_conn()
+                return status, raw
+        raise AssertionError("unreachable")
 
-    async def point(
-        self, app: str, variant=None, nprocs: int = 1, **fields
-    ) -> Dict[str, Any]:
-        return await self.resolve(_request(app, variant, nprocs, **fields))
-
-    async def resolve(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        return await self._json("POST", "/v1/point", request)
-
-    async def stream_points(
-        self, requests: List[Dict[str, Any]]
-    ) -> AsyncIterator[Dict[str, Any]]:
-        """Yield payloads as the server completes them (JSONL order)."""
-        body = json.dumps({"points": requests}).encode()
-        status, reader, writer = await self._roundtrip(
-            "POST", "/v1/points", body
+    async def _roundtrip(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ):
+        """One fresh-connection request; returns ``(status, reader,
+        writer)`` with the reader at the start of the response body."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port
         )
+        self.connections_opened += 1
+        writer.write(self._head(method, path, body, keep_alive=False))
+        writer.write(body or b"")
+        await writer.drain()
+        status, _headers = await self._read_head(reader)
+        return status, reader, writer
+
+    async def _stream(self, method, path, payload):
+        """Open a dedicated connection and yield its JSONL lines.
+
+        Streams are close-delimited on the wire, so they never share
+        the keep-alive session's connection.
+        """
+        body = json.dumps(payload).encode()
+        status, reader, writer = await self._roundtrip(method, path, body)
         try:
             if status != 200:
                 raw = await reader.read(-1)
@@ -160,17 +430,24 @@ class HttpClient:
             except (ConnectionError, OSError):
                 pass
 
-    async def points(
-        self, requests: List[Dict[str, Any]]
-    ) -> List[Dict[str, Any]]:
-        """Resolve many requests; returns payloads in request order."""
-        ordered: List[Optional[Dict[str, Any]]] = [None] * len(requests)
-        async for payload in self.stream_points(requests):
-            ordered[payload["index"]] = payload
-        missing = [i for i, p in enumerate(ordered) if p is None]
-        if missing:
-            raise ServingError(
-                f"stream ended without results for indices {missing}",
-                status=502,
-            )
-        return ordered
+
+class InProcessClient(ServingClient):
+    """Deprecated alias: ``ServingClient(service=service)``."""
+
+    def __init__(self, service) -> None:
+        _warn_once("InProcessClient", "ServingClient(service=...)")
+        super().__init__(service=service)
+
+
+class HttpClient(ServingClient):
+    """Deprecated alias: per-request-connection :class:`ServingClient`.
+
+    Keeps the PR 8 transport (one fresh connection per request) so
+    existing call sites and benchmarks measure what they always did;
+    new code should construct :class:`ServingClient` and get the
+    keep-alive session.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8377) -> None:
+        _warn_once("HttpClient", "ServingClient(host, port)")
+        super().__init__(host, port, keepalive=False)

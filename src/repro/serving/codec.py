@@ -27,12 +27,21 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+import time
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.options import SimOptions
 
+#: The current wire-schema version.  v2 requests carry ``"v": 2``;
+#: bodies without a ``v`` field (or with ``"v": 1``) are the PR 8
+#: schema and are up-converted in :func:`upconvert_request` — the one
+#: place v1 acceptance lives, shared by the point, batch, and sweep
+#: routes.
+WIRE_VERSION = 2
+
 #: Top-level request fields the decoder accepts.
 REQUEST_FIELDS = (
+    "v",
     "app",
     "variant",
     "nprocs",
@@ -55,11 +64,42 @@ OPTION_FIELDS = (
 
 
 class ServingError(Exception):
-    """A request the server refuses; ``status`` is the HTTP code."""
+    """A request the server refuses; ``status`` is the HTTP code.
 
-    def __init__(self, message: str, status: int = 400):
+    ``retry_after`` (seconds) is set on backpressure rejections (429)
+    and becomes the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+def upconvert_request(request: Any) -> Dict[str, Any]:
+    """Normalise any accepted wire version to the v2 schema.
+
+    The one place v1 bodies are accepted: a request without ``v`` (or
+    with ``"v": 1``) is the PR 8 shape, which is a strict subset of
+    v2, so up-conversion just stamps ``"v": 2``.  Unknown versions are
+    rejected here, before any field validation.
+    """
+    if not isinstance(request, dict):
+        raise ServingError("request must be a JSON object")
+    version = request.get("v", 1)
+    if version not in (1, WIRE_VERSION):
+        raise ServingError(
+            f"unsupported wire version {version!r}; this server speaks "
+            f"v1 (implicit) and v{WIRE_VERSION}"
+        )
+    upgraded = dict(request)
+    upgraded["v"] = WIRE_VERSION
+    return upgraded
 
 
 def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
@@ -71,8 +111,7 @@ def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
     never "whatever the previous request left applied in a pool
     worker".
     """
-    if not isinstance(request, dict):
-        raise ServingError("request must be a JSON object")
+    request = upconvert_request(request)
     unknown = set(request) - set(REQUEST_FIELDS)
     if unknown:
         raise ServingError(
@@ -130,6 +169,14 @@ def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
     return kwargs
 
 
+validate_request = request_kwargs
+"""Alias naming the v2 contract: the one validation entry shared by
+the point, batch, and sweep routes (each sweep expansion line is
+validated through it when resolved).  Pairs with :func:`encode_result`
+— requests come in through ``validate_request``, results leave through
+``encode_result``."""
+
+
 def decode_request(request: Dict[str, Any]):
     """A validated request, as the :class:`PointSpec` it names."""
     from repro import api
@@ -139,6 +186,276 @@ def decode_request(request: Dict[str, Any]):
         return api.point_spec(**kwargs)
     except (TypeError, ValueError, KeyError) as exc:
         raise ServingError(f"bad request: {exc}") from exc
+
+
+# -- negative-result cache ---------------------------------------------
+
+
+def negative_key(request: Any) -> Optional[str]:
+    """Canonical fingerprint of a request *body* (not its spec).
+
+    Spec fingerprints (``key_for_spec``) exist only for requests that
+    validate; the negative cache needs a key for requests that do
+    *not*, so it hashes the canonical JSON of the body itself.  Returns
+    None for bodies that cannot be canonicalised (unhashable request
+    shapes are not worth caching).
+    """
+    try:
+        encoded = json.dumps(
+            request, sort_keys=True, separators=(",", ":"), default=repr
+        )
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+class NegativeCache:
+    """Bounded TTL memo of request bodies known to be invalid.
+
+    Validation is pure CPU, but not free: unknown-app and
+    unknown-variant checks import registry modules, and a client stuck
+    in a retry loop re-pays that on every attempt.  The serving layer
+    stores each validation failure (HTTP 400) here, keyed by
+    :func:`negative_key`, and rejects repeats from memory — no
+    decoding, no registry, and definitely no worker pool.
+
+    Entries expire after ``ttl_s`` (code and registry state are static
+    per process, but a bounded lifetime keeps the contract honest) and
+    the oldest entries are dropped past ``max_entries``.  All clocks
+    are ``time.monotonic`` — wall-clock jumps cannot mass-expire or
+    immortalise entries.
+    """
+
+    def __init__(self, ttl_s: float = 60.0, max_entries: int = 1024):
+        self.ttl_s = ttl_s
+        self.max_entries = max(1, max_entries)
+        self._entries: Dict[str, Tuple[float, str, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Optional[str]) -> Optional[Tuple[str, int]]:
+        """The memoised ``(message, status)`` for ``key``, or None."""
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stamp, message, status = entry
+        if time.monotonic() - stamp > self.ttl_s:
+            del self._entries[key]
+            self.expired += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return message, status
+
+    def put(self, key: Optional[str], message: str, status: int) -> None:
+        if key is None:
+            return
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = (time.monotonic(), message, status)
+        self.stores += 1
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "expired": self.expired,
+        }
+
+
+# -- server-side sweep expansion ---------------------------------------
+
+#: Sweep kinds ``POST /v1/sweep`` accepts.
+SWEEP_KINDS = ("figure5", "scaling")
+
+#: Top-level fields a sweep request accepts (superset; kind-specific
+#: validation happens in :func:`expand_sweep`).
+SWEEP_FIELDS = (
+    "v",
+    "kind",
+    "apps",
+    "app",
+    "variants",
+    "counts",
+    "mode",
+    "scale",
+    "baselines",
+    "warm_start",
+    "options",
+    "overrides",
+)
+
+
+def _sweep_variants(names, default):
+    from repro.config import variant_by_name
+
+    if names is None:
+        return list(default)
+    if not isinstance(names, list) or not names:
+        raise ServingError("'variants' must be a non-empty list of names")
+    resolved = []
+    for name in names:
+        try:
+            resolved.append(variant_by_name(name))
+        except (KeyError, ValueError) as exc:
+            raise ServingError(f"unknown variant {name!r}") from exc
+    return resolved
+
+
+def _sweep_counts(counts, default):
+    if counts is None:
+        return list(default)
+    if (
+        not isinstance(counts, list)
+        or not counts
+        or not all(isinstance(n, int) and n >= 1 for n in counts)
+    ):
+        raise ServingError(
+            "'counts' must be a non-empty list of positive integers"
+        )
+    return sorted(set(counts))
+
+
+def expand_sweep(
+    request: Dict[str, Any], max_points: int = 4096
+) -> List[Dict[str, Any]]:
+    """Expand one sweep request into its v2 point-request list.
+
+    The server-side twin of the figure5/scaling drivers: the same
+    feasibility rules (``csm_pp`` capped below 32 processors by the
+    protocol CPU) and the same weak-scaling parameter growth
+    (:func:`repro.harness.scaling.weak_params` over the app's registry
+    defaults), but emitting wire requests instead of running anything —
+    each expanded point then flows through the ordinary
+    ``validate_request`` → cache → coalesce → batch path.
+    """
+    request = upconvert_request(request)
+    unknown = set(request) - set(SWEEP_FIELDS)
+    if unknown:
+        raise ServingError(
+            f"unknown sweep field(s) {sorted(unknown)}; "
+            f"accepted: {list(SWEEP_FIELDS)}"
+        )
+    kind = request.get("kind")
+    if kind not in SWEEP_KINDS:
+        raise ServingError(
+            f"sweep needs a 'kind' in {list(SWEEP_KINDS)}, got {kind!r}"
+        )
+    scale = request.get("scale", "small")
+    common: Dict[str, Any] = {"v": WIRE_VERSION, "scale": scale}
+    for passthrough in ("warm_start", "options", "overrides"):
+        if passthrough in request:
+            common[passthrough] = request[passthrough]
+
+    from repro.apps import registry
+
+    points: List[Dict[str, Any]] = []
+    if kind == "figure5":
+        from repro.config import ALL_VARIANTS
+        from repro.harness.figure5 import DEFAULT_COUNTS
+
+        apps = request.get("apps") or list(registry.APP_NAMES)
+        if not isinstance(apps, list):
+            raise ServingError("'apps' must be a list of app names")
+        for app in apps:
+            if app not in registry.APP_NAMES:
+                raise ServingError(
+                    f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+                )
+        variants = _sweep_variants(request.get("variants"), ALL_VARIANTS)
+        counts = _sweep_counts(request.get("counts"), DEFAULT_COUNTS)
+        baselines = bool(request.get("baselines", True))
+        for app in apps:
+            if baselines:
+                points.append(dict(common, app=app, nprocs=1))
+            for variant in variants:
+                limit = _paper_max_procs(variant)
+                for nprocs in counts:
+                    if nprocs > limit:
+                        continue
+                    points.append(
+                        dict(
+                            common,
+                            app=app,
+                            variant=variant.name,
+                            nprocs=nprocs,
+                        )
+                    )
+    else:  # scaling
+        from repro.config import CSM_POLL, TMK_MC_POLL
+        from repro.harness.scaling import (
+            DEFAULT_COUNTS as SCALING_COUNTS,
+            MODES,
+            weak_params,
+        )
+
+        app = request.get("app", "sor")
+        if app not in registry.APP_NAMES:
+            raise ServingError(
+                f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+            )
+        mode = request.get("mode", "weak")
+        if mode not in MODES:
+            raise ServingError(
+                f"unknown scaling mode {mode!r}; known: {list(MODES)}"
+            )
+        variants = _sweep_variants(
+            request.get("variants"), (CSM_POLL, TMK_MC_POLL)
+        )
+        counts = _sweep_counts(request.get("counts"), SCALING_COUNTS)
+        ref = counts[0]
+        base = registry.load(app).default_params(scale)
+        for nprocs in counts:
+            if mode == "weak":
+                try:
+                    params = weak_params(app, base, ref, nprocs)
+                except ValueError as exc:
+                    raise ServingError(str(exc)) from exc
+            else:
+                params = base
+            for variant in variants:
+                points.append(
+                    dict(
+                        common,
+                        app=app,
+                        variant=variant.name,
+                        nprocs=nprocs,
+                        params=dict(params),
+                    )
+                )
+    if not points:
+        raise ServingError("sweep expands to zero points")
+    if len(points) > max_points:
+        raise ServingError(
+            f"sweep expands to {len(points)} points, over the server's "
+            f"max_sweep_points={max_points}",
+            status=413,
+        )
+    return points
+
+
+def _paper_max_procs(variant) -> int:
+    """Compute CPUs ``variant`` gets on the paper's fixed cluster.
+
+    Figure 5 sweeps keep the eight-node AlphaServer topology (the
+    driver's :func:`~repro.harness.runner.feasible_counts` rule), so
+    ``csm_pp`` tops out at 24 processors — its protocol CPUs are not
+    available for compute.  Scaling sweeps auto-grow instead.
+    """
+    from repro.config import ClusterConfig, RunConfig
+
+    cfg = RunConfig(variant=variant, nprocs=1, cluster=ClusterConfig())
+    return cfg.compute_cpus_available
 
 
 def _jsonable(value: Any) -> Any:

@@ -4,13 +4,19 @@ The workload models what the ROADMAP's north-star service sees: many
 clients, a zipf-ish point popularity curve (a few hot points absorb
 most requests; a long tail stays cold), arrivals bursty enough to
 coalesce.  :func:`run_load` drives any client exposing
-``resolve(request)`` — in-process or HTTP — and reports throughput,
-latency percentiles, coalesce rate, and cache-hit rate;
-:func:`verify_against_direct` then replays every distinct point
-through plain :func:`repro.api.run_point` and byte-compares the served
-results, and :func:`naive_baseline` measures the pre-serving
-alternative (one fresh subprocess per request) that the ≥5x
-throughput claim in ``BENCH_PR8.json`` is made against.
+``resolve(request)`` — in-process or HTTP, shared or per-client via
+``client_factory`` (the keep-alive mode: every simulated client owns
+one persistent session) — and reports throughput, latency
+percentiles, coalesce rate, and cache-hit rate; ``bad_every`` salts
+the schedule with a known-invalid request so negative-cache behaviour
+is measured under load.  :func:`verify_against_direct` then replays
+every distinct point through plain :func:`repro.api.run_point` and
+byte-compares the served results, and :func:`naive_baseline` measures
+the pre-serving alternative (one fresh subprocess per request) that
+the ≥5x throughput claim in ``BENCH_PR8.json`` was made against.
+:func:`bench_serve` with ``compare_connections=True`` runs the same
+schedule over per-request connections and over keep-alive sessions,
+isolating the connection-setup cost (``BENCH_PR9.json``).
 
 Everything is seeded: the same (seed, clients, requests) schedule hits
 the same points in the same order.
@@ -25,7 +31,14 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.serving.codec import ServingError
+
+#: The deterministic invalid request ``bad_every`` injects.  One fixed
+#: body, so its first rejection populates the negative cache and every
+#: repeat is served from it.
+BAD_POINT: Dict[str, Any] = {"app": "no-such-app", "nprocs": 1}
 
 
 def default_point_set(
@@ -87,15 +100,22 @@ async def run_load(
     zipf_s: float = 1.2,
     seed: int = 1234,
     concurrency: int = 256,
+    client_factory: Optional[Callable[[], Any]] = None,
+    bad_every: int = 0,
 ) -> Dict[str, Any]:
     """Fire the synthetic fleet and collect the serving report.
 
     ``clients`` concurrent tasks each issue ``requests_per_client``
     sequential requests drawn from the zipf distribution over
     ``points``.  ``concurrency`` bounds simultaneous in-flight
-    requests (HTTP mode: open sockets).  The report's ``digests`` map
-    each point index to the set of result digests observed — exactly
-    one per point unless determinism broke.
+    requests (HTTP mode: open sockets).  ``client_factory`` gives each
+    simulated client its own transport — the keep-alive mode, where a
+    client's session holds one connection across its requests — and
+    ``client`` may then be None.  ``bad_every`` replaces every Nth
+    request (global schedule order) with :data:`BAD_POINT`; its
+    HTTP 400s count as ``invalid_rejected``, not failures.  The
+    report's ``digests`` map each point index to the set of result
+    digests observed — exactly one per point unless determinism broke.
     """
     points = points if points is not None else default_point_set()
     weights = zipf_weights(len(points), zipf_s)
@@ -105,37 +125,66 @@ async def run_load(
                     k=requests_per_client)
         for _ in range(clients)
     ]
+    bad_requests = 0
+    if bad_every:
+        position = 0
+        for indices in schedule:
+            for j in range(len(indices)):
+                position += 1
+                if position % bad_every == 0:
+                    indices[j] = -1  # -1 marks the invalid request
+                    bad_requests += 1
     gate = asyncio.Semaphore(concurrency)
     latencies: List[float] = []
     sources: Dict[str, int] = {}
     digests: Dict[int, set] = {}
     failures: List[str] = []
+    invalid_rejected = 0
     result_bytes: Dict[int, bytes] = {}
 
     async def one_client(point_indices: List[int]) -> None:
         import json as _json
 
-        for index in point_indices:
-            async with gate:
-                begin = time.perf_counter()
-                try:
-                    payload = await client.resolve(points[index])
-                except Exception as exc:
-                    failures.append(f"point {index}: {exc}")
+        nonlocal invalid_rejected
+        own = client_factory() if client_factory is not None else None
+        driver = own if own is not None else client
+        try:
+            for index in point_indices:
+                request = BAD_POINT if index < 0 else points[index]
+                async with gate:
+                    begin = time.perf_counter()
+                    try:
+                        payload = await driver.resolve(request)
+                    except ServingError as exc:
+                        if index < 0 and exc.status == 400:
+                            invalid_rejected += 1
+                        else:
+                            failures.append(f"point {index}: {exc}")
+                        continue
+                    except Exception as exc:
+                        failures.append(f"point {index}: {exc}")
+                        continue
+                    latencies.append(time.perf_counter() - begin)
+                if index < 0:
+                    failures.append("invalid request was served")
                     continue
-                latencies.append(time.perf_counter() - begin)
-            sources[payload["source"]] = (
-                sources.get(payload["source"], 0) + 1
-            )
-            digests.setdefault(index, set()).add(payload["digest"])
-            result_bytes.setdefault(
-                index,
-                _json.dumps(
-                    payload["result"],
-                    sort_keys=True,
-                    separators=(",", ":"),
-                ).encode(),
-            )
+                sources[payload["source"]] = (
+                    sources.get(payload["source"], 0) + 1
+                )
+                digests.setdefault(index, set()).add(payload["digest"])
+                if index not in result_bytes:
+                    # Canonicalise only the first sighting of a point
+                    # (``one_digest_per_point`` covers the repeats) —
+                    # ``setdefault`` would eagerly re-encode the result
+                    # grid on every request and dominate client cost.
+                    result_bytes[index] = _json.dumps(
+                        payload["result"],
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    ).encode()
+        finally:
+            if own is not None and hasattr(own, "close"):
+                await own.close()
 
     started = time.perf_counter()
     await asyncio.gather(
@@ -156,6 +205,8 @@ async def run_load(
         "seed": seed,
         "requests": total_requests,
         "completed": completed,
+        "bad_requests": bad_requests,
+        "invalid_rejected": invalid_rejected,
         "failed_requests": len(failures),
         "failures": failures[:10],
         "wall_seconds": round(wall_s, 4),
@@ -206,6 +257,10 @@ def verify_against_direct(
     }
 
 
+def _strip_private(report: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in report.items() if not k.startswith("_")}
+
+
 def bench_serve(
     clients: int = 500,
     requests_per_client: int = 2,
@@ -217,69 +272,131 @@ def bench_serve(
     naive_requests: int = 0,
     http: bool = True,
     cache_dir: Optional[str] = None,
+    keepalive: bool = True,
+    compare_connections: bool = False,
+    bad_every: int = 0,
+    cache_max_entries: int = 0,
+    cache_max_bytes: int = 0,
 ) -> Dict[str, Any]:
     """Boot a server, fire the fleet, verify, and report.
 
     The one benchmark entry shared by ``repro-dsm bench-serve`` and
-    ``bench_wallclock.py --pr8``.  Boots a real
+    ``bench_wallclock.py --pr8/--pr9``.  Boots a real
     :class:`~repro.serving.server.ExperimentServer` on an ephemeral
     port (``http=False`` skips the sockets and drives the service
-    in-process), runs :func:`run_load`, byte-verifies every distinct
-    point against direct ``api.run_point``, and (with
-    ``naive_requests > 0``) measures the naive one-subprocess-per-
-    request baseline for the ``speedup_over_naive`` figure.
+    in-process), warms every point once, runs :func:`run_load`, and
+    byte-verifies every distinct point against direct
+    ``api.run_point``.  ``keepalive`` picks the HTTP transport;
+    ``compare_connections=True`` runs the identical schedule over
+    per-request connections *and* keep-alive sessions and reports
+    ``keepalive_speedup``.  ``cache_max_entries``/``cache_max_bytes``
+    bound the server's result cache (evictions land in the stats), and
+    ``bad_every`` injects :data:`BAD_POINT` so the negative cache is
+    exercised.  With ``naive_requests > 0`` the naive one-subprocess-
+    per-request baseline is measured for ``speedup_over_naive``.
     """
     import tempfile
 
-    from repro.serving.client import HttpClient, InProcessClient
+    from repro.serving.client import ServingClient
     from repro.serving.server import ExperimentServer, ServerConfig
 
     if jobs is None:
         jobs = min(8, os.cpu_count() or 1)
     points = default_point_set(scale)
 
+    async def run_mode(host, port, mode):
+        factory = None
+        shared = None
+        if mode == "in-process":
+            shared = in_process_client
+        else:
+            use_keepalive = mode == "keepalive"
+            factory = lambda: ServingClient(  # noqa: E731
+                host, port, keepalive=use_keepalive
+            )
+        report = await run_load(
+            shared,
+            points,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            zipf_s=zipf_s,
+            seed=seed,
+            client_factory=factory,
+            bad_every=bad_every,
+        )
+        report["transport"] = mode
+        return report
+
     async def go(cdir: str):
+        nonlocal in_process_client
         config = ServerConfig(
             host="127.0.0.1",
             port=0,
             jobs=jobs,
             batch_window_ms=window_ms,
             cache_dir=cdir,
+            cache_max_entries=cache_max_entries,
+            cache_max_bytes=cache_max_bytes,
         )
         server = ExperimentServer(config=config)
         host, port = await server.start()
-        client = (
-            HttpClient(host, port)
-            if http
-            else InProcessClient(server.service)
+        in_process_client = ServingClient(service=server.service)
+        # Warm pass: compute every point once, so each timed mode
+        # measures the warm serving path rather than whichever mode
+        # happened to run first paying the cold simulations.
+        await asyncio.gather(
+            *(in_process_client.resolve(dict(p)) for p in points)
         )
-        report = await run_load(
-            client,
-            points,
-            clients=clients,
-            requests_per_client=requests_per_client,
-            zipf_s=zipf_s,
-            seed=seed,
-        )
+        if http:
+            modes = (
+                ["per_request", "keepalive"]
+                if compare_connections
+                else (["keepalive"] if keepalive else ["per_request"])
+            )
+        else:
+            modes = ["in-process"]
+        reports = {}
+        for mode in modes:
+            reports[mode] = await run_mode(host, port, mode)
         stats = server.service.stats_payload()
+        stats["http"] = server.http_stats()
         await server.shutdown(drain=True)
-        return report, stats
+        return reports, stats
 
+    in_process_client = None
     if cache_dir is not None:
-        report, stats = asyncio.run(go(cache_dir))
+        reports, stats = asyncio.run(go(cache_dir))
     else:
         with tempfile.TemporaryDirectory(
             prefix="repro-dsm-serve-bench-"
         ) as tmp:
-            report, stats = asyncio.run(go(tmp))
+            reports, stats = asyncio.run(go(tmp))
 
-    result_bytes = report.pop("_result_bytes")
-    identity = verify_against_direct(points, result_bytes)
+    # The primary mode (the last one run) becomes the top-level report.
+    primary = list(reports)[-1]
+    report = dict(reports[primary])
+    all_bytes: Dict[int, bytes] = {}
+    cross_mode_identical = True
+    for mode_report in reports.values():
+        for index, served in mode_report.pop("_result_bytes").items():
+            if all_bytes.setdefault(index, served) != served:
+                cross_mode_identical = False
+    report.pop("_result_bytes", None)
+    identity = verify_against_direct(points, all_bytes)
     report["identity"] = identity
     report["identical_results"] = (
-        identity["identical"] and report["one_digest_per_point"]
+        identity["identical"]
+        and cross_mode_identical
+        and all(r["one_digest_per_point"] for r in reports.values())
     )
-    report["transport"] = "http" if http else "in-process"
+    if len(reports) > 1:
+        report["modes"] = {
+            mode: _strip_private(r) for mode, r in reports.items()
+        }
+        per = reports.get("per_request", {}).get("throughput_rps", 0)
+        ka = reports.get("keepalive", {}).get("throughput_rps", 0)
+        if per:
+            report["keepalive_speedup"] = round(ka / per, 2)
     report["server"] = stats
     if naive_requests > 0:
         baseline = naive_baseline(points, requests=naive_requests)

@@ -1,0 +1,422 @@
+"""Serving v2 guarantees: sessions, bounds, negative cache, sweeps.
+
+PR 9's contract on top of the PR 8 tiers (``docs/SERVING.md``):
+connections are keep-alive sessions the server may close (idle
+timeout, per-connection request limit) without the client surface
+noticing; the result cache holds its configured byte/entry bound at
+all times; deterministically invalid requests are rejected from
+memory; sweeps expand server-side and stream through the same
+coalescing/batching path; and saturation answers 429 instead of
+queueing unboundedly.  Every payload stays byte-identical to direct
+``api.run_point`` — including the hot tier's pre-encoded splice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.harness.cache import CacheStats, ResultCache
+from repro.serving import (
+    NegativeCache,
+    ServingClient,
+    ServingError,
+    expand_sweep,
+    upconvert_request,
+    validate_request,
+)
+from repro.serving.client import (
+    HttpClient,
+    InProcessClient,
+    reset_deprecation_warnings,
+)
+from repro.serving.server import (
+    ExperimentServer,
+    ExperimentService,
+    ServerConfig,
+    encode_payload,
+)
+
+SOR = {"app": "sor", "variant": "csm_poll", "nprocs": 4, "scale": "tiny"}
+BAD = {"app": "no-such-app", "nprocs": 1}
+
+
+def _config(tmp_path, **overrides) -> ServerConfig:
+    fields = {
+        "port": 0,
+        "jobs": 0,
+        "batch_window_ms": 1.0,
+        "cache_dir": str(tmp_path / "serve-cache"),
+    }
+    fields.update(overrides)
+    return ServerConfig(**fields)
+
+
+def _with_server(tmp_path, coro_fn, **config_overrides):
+    """Run ``coro_fn(server, host, port)`` against a live HTTP server."""
+
+    async def go():
+        server = ExperimentServer(config=_config(tmp_path, **config_overrides))
+        host, port = await server.start()
+        try:
+            return await coro_fn(server, host, port)
+        finally:
+            await server.shutdown(drain=True)
+
+    return asyncio.run(go())
+
+
+# -- keep-alive sessions -----------------------------------------------
+
+
+def test_keepalive_session_reuses_one_connection(tmp_path):
+    async def go(server, host, port):
+        client = ServingClient(host, port)
+        digests = set()
+        for _ in range(3):
+            digests.add((await client.resolve(dict(SOR)))["digest"])
+        await client.close()
+        assert len(digests) == 1
+        assert client.connections_opened == 1
+        assert client.requests_reused == 2
+        assert server.http_stats()["reused"] == 2
+
+    _with_server(tmp_path, go)
+
+
+def test_idle_timeout_closes_session_client_reconnects(tmp_path):
+    async def go(server, host, port):
+        client = ServingClient(host, port)
+        first = await client.resolve(dict(SOR))
+        # Past the idle timeout the server closes the connection; the
+        # session must notice the stale socket and retry once, fresh.
+        await asyncio.sleep(0.3)
+        second = await client.resolve(dict(SOR))
+        await client.close()
+        assert first["digest"] == second["digest"]
+        assert client.connections_opened == 2
+
+    _with_server(tmp_path, go, idle_timeout_s=0.05)
+
+
+def test_max_requests_per_conn_rotates_the_session(tmp_path):
+    async def go(server, host, port):
+        client = ServingClient(host, port)
+        for _ in range(4):
+            await client.resolve(dict(SOR))
+        await client.close()
+        # 2 requests per connection -> 4 requests need 2 connections.
+        assert client.connections_opened == 2
+        assert server.http_stats()["connections"] == 2
+
+    _with_server(tmp_path, go, max_requests_per_conn=2)
+
+
+def test_deprecated_aliases_warn_once_and_serve(tmp_path, capsys):
+    async def go(server, host, port):
+        reset_deprecation_warnings()
+        old = HttpClient(host, port)
+        HttpClient(host, port)  # second construction must stay silent
+        payload = await old.point("sor", "csm_poll", 4, scale="tiny")
+        inproc = InProcessClient(server.service)
+        InProcessClient(server.service)
+        direct = await inproc.resolve(dict(SOR))
+        assert payload["digest"] == direct["digest"]
+
+    _with_server(tmp_path, go)
+    err = capsys.readouterr().err
+    assert err.count("HttpClient is deprecated") == 1
+    assert err.count("InProcessClient is deprecated") == 1
+
+
+# -- negative-result cache ---------------------------------------------
+
+
+def test_negative_cache_memoises_deterministic_rejections(tmp_path):
+    async def go(server, host, port):
+        service = server.service
+        for _ in range(3):
+            with pytest.raises(ServingError) as exc_info:
+                await service.resolve(dict(BAD))
+            assert exc_info.value.status == 400
+        # First rejection validates and stores; the two repeats are
+        # served from memory without touching decode or the pool.
+        assert service.stats.negative_hits == 2
+        assert service.negative.as_dict()["stores"] == 1
+
+    _with_server(tmp_path, go)
+
+
+def test_negative_cache_entries_expire():
+    cache = NegativeCache(ttl_s=0.05, max_entries=4)
+    cache.put("k", "bad spec", 400)
+    assert cache.get("k") == ("bad spec", 400)
+    time.sleep(0.08)
+    assert cache.get("k") is None
+    assert cache.as_dict()["expired"] == 1
+
+
+# -- bounded result cache ----------------------------------------------
+
+
+def test_eviction_under_concurrent_load_respects_bound(tmp_path):
+    points = [
+        {"app": "sor", "variant": "csm_poll", "nprocs": n, "scale": "tiny"}
+        for n in (1, 2, 4)
+    ] + [{"app": "water", "variant": "csm_poll", "nprocs": 1, "scale": "tiny"}]
+
+    async def go(server, host, port):
+        service = server.service
+        client = ServingClient(service=service)
+        await asyncio.gather(*(client.resolve(dict(p)) for p in points))
+        summary = service.cache.summary()
+        assert summary["entries"] <= 2
+        assert service.cache.stats.evictions >= 2
+        # The hot payload tier is independent of disk eviction: every
+        # point answers as a cache hit even though only 2 remain on disk.
+        before = service.stats.cache_hits
+        for point in points:
+            payload = await client.resolve(dict(point))
+            assert payload["source"] == "cache"
+        assert service.stats.cache_hits == before + len(points)
+        assert service.stats.hot_hits >= len(points)
+
+    _with_server(tmp_path, go, cache_max_entries=2)
+
+
+def test_result_cache_prune_and_clear_reports(tmp_path):
+    cache = ResultCache(cache_dir=tmp_path / "c", max_entries=2)
+    for i in range(4):
+        cache.put(f"{i:032x}", {"n": i})
+    assert cache.summary()["entries"] == 2
+    # Exactly one eviction per over-bound put: the in-flight tmp file
+    # must not count as a phantom entry during _make_room's scan.
+    assert cache.stats.evictions == 2
+    report = cache.prune(max_entries=1)
+    assert report["evicted"] == 1 and report["entries"] == 1
+    report = cache.clear()
+    assert report["entries"] == 0 and report["evicted"] == 1
+    assert set(report) == {"evicted", "reclaimed_bytes", "entries", "bytes"}
+
+
+def test_cache_cli_matches_cachestats_schema(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    cache_dir = str(tmp_path / "cli-cache")
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["stats"]) == set(CacheStats().as_dict())
+    assert {"entries", "bytes", "max_bytes", "max_entries"} <= set(payload)
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == {"evicted", "reclaimed_bytes", "entries", "bytes"}
+
+
+# -- admission control --------------------------------------------------
+
+
+def test_saturated_server_answers_429_with_retry_after(tmp_path):
+    async def go(server, host, port):
+        service = server.service
+        service.inflight = 1  # pin saturation; no timing races
+        with pytest.raises(ServingError) as exc_info:
+            await service.resolve(dict(SOR))
+        service.inflight = 0
+        assert exc_info.value.status == 429
+        assert exc_info.value.retry_after == service.config.retry_after_s
+        assert service.stats.rejected == 1
+        # Admitted (stream-originated) points bypass the 429 path.
+        service.inflight = 1
+        payload = await service.resolve(dict(SOR), admitted=True)
+        service.inflight = 0
+        assert payload["source"] in ("computed", "cache")
+
+    _with_server(tmp_path, go, max_inflight=1)
+
+
+def test_http_429_carries_retry_after_header(tmp_path):
+    async def go(server, host, port):
+        server.service.inflight = 1
+        reader, writer = await asyncio.open_connection(host, port)
+        body = json.dumps(SOR).encode()
+        writer.write(
+            b"POST /v1/point HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\nConnection: close\r\n\r\n%b"
+            % (len(body), body)
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        writer.close()
+        server.service.inflight = 0
+        assert b"429" in head.splitlines()[0]
+        assert b"Retry-After:" in head
+
+    _with_server(tmp_path, go, max_inflight=1)
+
+
+# -- wire versioning ----------------------------------------------------
+
+
+def test_v1_bodies_upconvert_and_match_v2(tmp_path):
+    assert upconvert_request(dict(SOR))["v"] == 2
+    assert upconvert_request(dict(SOR, v=1))["v"] == 2
+    with pytest.raises(ServingError):
+        upconvert_request(dict(SOR, v=3))
+    # validate_request is the one shared validator: the kwargs never
+    # leak the version field.
+    assert "v" not in validate_request(dict(SOR, v=1))
+
+    async def go(server, host, port):
+        client = ServingClient(host, port)
+        v1 = await client.resolve(dict(SOR))
+        v2 = await client.resolve(dict(SOR, v=2))
+        await client.close()
+        assert v1["digest"] == v2["digest"]
+
+    _with_server(tmp_path, go)
+
+
+# -- server-side sweeps -------------------------------------------------
+
+
+def test_expand_sweep_validates_and_caps():
+    points = expand_sweep(
+        {
+            "kind": "figure5",
+            "apps": ["sor"],
+            "variants": ["csm_poll"],
+            "counts": [1, 2],
+            "baselines": False,
+            "scale": "tiny",
+        }
+    )
+    assert [p["nprocs"] for p in points] == [1, 2]
+    for point in points:
+        validate_request(dict(point))
+    with pytest.raises(ServingError) as exc_info:
+        expand_sweep({"kind": "figure5"}, max_points=3)
+    assert exc_info.value.status == 413
+    with pytest.raises(ServingError):
+        expand_sweep({"kind": "nope"})
+
+
+def test_sweep_streams_preamble_then_points_in_completion_order(tmp_path):
+    request = {
+        "kind": "figure5",
+        "apps": ["sor"],
+        "variants": ["csm_poll"],
+        "counts": [1, 2],
+        "baselines": False,
+        "scale": "tiny",
+    }
+
+    async def go(server, host, port):
+        client = ServingClient(host, port)
+        lines = [line async for line in client.sweep(dict(request))]
+        assert lines[0]["sweep"] == {"kind": "figure5", "points": 2}
+        assert sorted(line["index"] for line in lines[1:]) == [0, 1]
+        # The convenience wrapper reorders by index and keeps the meta.
+        ordered = await client.sweep_points(dict(request))
+        await client.close()
+        assert [p["index"] for p in ordered["points"]] == [0, 1]
+        assert ordered["errors"] == []
+        assert ordered["points"][0]["source"] == "cache"
+
+    _with_server(tmp_path, go)
+
+
+def test_mid_stream_disconnect_leaves_server_healthy(tmp_path):
+    request = {
+        "kind": "figure5",
+        "apps": ["sor"],
+        "variants": ["csm_poll"],
+        "counts": [1, 2],
+        "baselines": False,
+        "scale": "tiny",
+    }
+
+    async def go(server, host, port):
+        warm = ServingClient(service=server.service)
+        for point in server.service.expand(dict(request)):
+            await warm.resolve(point)
+        reader, writer = await asyncio.open_connection(host, port)
+        body = json.dumps(request).encode()
+        writer.write(
+            b"POST /v1/sweep HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: %d\r\n\r\n%b" % (len(body), body)
+        )
+        await writer.drain()
+        await reader.readuntil(b"\r\n\r\n")
+        preamble = json.loads(await reader.readline())
+        assert preamble["sweep"]["points"] == 2
+        writer.close()  # walk away mid-stream
+        await asyncio.sleep(0.05)
+        # The abandoned stream must not wedge the service: a fresh
+        # request resolves and no connection stays marked busy.
+        after = await warm.resolve(dict(SOR))
+        assert after["digest"]
+        assert not server._busy
+
+    _with_server(tmp_path, go)
+
+
+def test_drain_during_sweep_delivers_admitted_points(tmp_path):
+    request = {
+        "kind": "figure5",
+        "apps": ["sor"],
+        "variants": ["csm_poll"],
+        "counts": [1, 2],
+        "baselines": False,
+        "scale": "tiny",
+    }
+
+    async def go():
+        server = ExperimentServer(config=_config(tmp_path))
+        host, port = await server.start()
+        warm = ServingClient(service=server.service)
+        for point in server.service.expand(dict(request)):
+            await warm.resolve(point)
+        client = ServingClient(host, port)
+        stream = client.sweep(dict(request))
+        preamble = await stream.__anext__()
+        assert preamble["sweep"]["points"] == 2
+        first = await stream.__anext__()
+        # Graceful shutdown mid-stream: the busy connection gets its
+        # remaining admitted points before the listener dies.
+        shutdown = asyncio.ensure_future(server.shutdown(drain=True))
+        rest = [line async for line in stream]
+        await shutdown
+        indices = {first["index"]} | {line["index"] for line in rest}
+        assert indices == {0, 1}
+        await client.close()
+
+    asyncio.run(go())
+
+
+# -- hot tier byte identity ---------------------------------------------
+
+
+def test_hot_tier_splice_is_byte_identical(tmp_path):
+    async def go(server, host, port):
+        service = server.service
+        await service.resolve(dict(SOR))  # cold: populates the hot tier
+        hot = await service.resolve(dict(SOR))
+        assert "_result_json" in hot
+        public = {k: v for k, v in hot.items() if k != "_result_json"}
+        assert encode_payload(dict(hot)) == json.dumps(
+            public, sort_keys=True
+        ).encode()
+        # The in-process client strips the transport-private key; the
+        # HTTP client never sees it.
+        inproc = await ServingClient(service=service).resolve(dict(SOR))
+        assert "_result_json" not in inproc
+        http_client = ServingClient(host, port)
+        over_http = await http_client.resolve(dict(SOR))
+        await http_client.close()
+        assert "_result_json" not in over_http
+        assert over_http["digest"] == inproc["digest"]
+
+    _with_server(tmp_path, go)
