@@ -118,6 +118,22 @@ docs/SERVING.md):
 
 Results land in ``BENCH_PR9.json``.
 
+**--pr10** — A/Bs the sharing-policy layer (docs/POLICIES.md) on the
+false-sharing stressor ``irreg`` at 8 processors over ``rdma``:
+
+1. **policy ladder** — the default triple ``(page, none,
+   first-touch)`` against ``block256``, ``block256``+``seq``, and
+   ``block1k`` on the invalidate-based protocols (``hlrc_poll``,
+   ``tmk_mc_poll``), comparing *simulated* execution time (the layer's
+   product is simulated-time savings, so the gate is deterministic —
+   no wall-clock noise);
+2. **acceptance** — fine granularity + prefetch
+   (``block256``+``seq``) must be >= 1.2x the default triple on at
+   least one protocol, and every policy row's simulated values must be
+   bit-identical to its default-triple row.
+
+Results land in ``BENCH_PR10.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py \
@@ -135,6 +151,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_wallclock.py --pr9 \
         [--clients N] [--serve-requests N] [--cache-max-entries N] \
         [--bad-every N] [--out BENCH_PR9.json]
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --pr10 \
+        [--scale small] [--out BENCH_PR10.json]
 """
 
 from __future__ import annotations
@@ -1305,6 +1323,116 @@ def pr9_main(args) -> int:
     return 0
 
 
+def pr10_main(args) -> int:
+    from repro import api
+    from repro.harness.policies import _values_equal
+
+    app, nprocs, network = "irreg", 8, "rdma"
+    variants = ("hlrc_poll", "tmk_mc_poll")
+    policies = (
+        ("page", "none"),  # the paper's triple (homing stays first-touch)
+        ("block256", "none"),
+        ("block256", "seq"),
+        ("block1k", "none"),
+    )
+    print(
+        f"benchmarking the sharing-policy layer: {app} x {nprocs}p on "
+        f"{network} at scale={args.scale}, "
+        f"{len(variants)} variants x {len(policies)} policy pairs "
+        f"(simulated time, deterministic)",
+        file=sys.stderr,
+    )
+    rows = []
+    gate_speedups = {}
+    identical = True
+    for variant in variants:
+        baseline = None
+        for granularity, prefetch in policies:
+            result = api.run_point(
+                app,
+                variant,
+                nprocs,
+                scale=args.scale,
+                network=network,
+                granularity=granularity,
+                prefetch=prefetch,
+            )
+            if baseline is None:
+                baseline = result
+            values_ok = _values_equal(baseline.values, result.values)
+            identical = identical and values_ok
+            speedup = round(baseline.exec_time / result.exec_time, 2)
+            if (granularity, prefetch) == ("block256", "seq"):
+                gate_speedups[variant] = speedup
+            rows.append(
+                {
+                    "variant": variant,
+                    "granularity": granularity,
+                    "prefetch": prefetch,
+                    "exec_time_us": result.exec_time,
+                    "speedup_vs_default": speedup,
+                    "prefetches": result.counter("prefetches"),
+                    "values_identical": values_ok,
+                }
+            )
+            print(
+                f"  {variant:12s} {granularity:9s}+{prefetch:4s} "
+                f"{result.exec_time / 1000.0:10.1f}ms  "
+                f"{speedup:5.2f}x  values_ok={values_ok}",
+                file=sys.stderr,
+            )
+    best_gate = max(gate_speedups.values())
+    acceptance = {
+        "fine_granularity_plus_prefetch_ge_1_2x": best_gate >= 1.2,
+        "identical_results": identical,
+    }
+    report = {
+        "benchmark": (
+            "sharing-policy layer: granularity/prefetch ladder vs the "
+            "default (page, demand-fault) triple on the false-sharing "
+            "stressor irreg, 8 processors, rdma backend — simulated "
+            "execution time (deterministic; the layer's product is "
+            "simulated-time savings, not wall clock)"
+        ),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "scale": args.scale,
+        "rows": rows,
+        "gate_speedups_block256_seq": gate_speedups,
+        "best_gate_speedup": best_gate,
+        "identical_results": identical,
+        "acceptance": acceptance,
+        "notes": (
+            "speedup_vs_default divides the default triple's simulated "
+            "exec_time by the policy row's, per protocol variant.  The "
+            "gate row is block256+seq (fine granularity + software "
+            "re-validation prefetch) and must reach >= 1.2x on at "
+            "least one invalidate-based protocol; every row's "
+            "simulated values must match its default row bit-for-bit "
+            "(the policy contract, docs/POLICIES.md).  All quantities "
+            "are simulated and deterministic, so this gate cannot "
+            "flake on a loaded CI host."
+        ),
+    }
+    out = args.out or str(
+        Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
+    )
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+    if not all(acceptance.values()):
+        print(f"acceptance gate FAILED: {acceptance}", file=sys.stderr)
+        return 1
+    print(
+        f"gate: block256+seq best {best_gate}x (>= 1.2x), "
+        f"values identical: {identical}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
@@ -1354,6 +1482,14 @@ def main(argv=None) -> int:
         help=(
             "load-test serving v2 (keep-alive vs per-request "
             "connections, bounded cache, negative-result cache)"
+        ),
+    )
+    parser.add_argument(
+        "--pr10",
+        action="store_true",
+        help=(
+            "A/B the sharing-policy layer (granularity/prefetch ladder "
+            "on irreg 8p rdma; simulated-time gate, deterministic)"
         ),
     )
     parser.add_argument(
@@ -1434,6 +1570,10 @@ def main(argv=None) -> int:
         if "--serve-requests" not in (argv or sys.argv):
             args.serve_requests = 8
         return pr9_main(args)
+    if args.pr10:
+        if "--scale" not in (argv or sys.argv):
+            args.scale = "small"
+        return pr10_main(args)
     if args.out is None:
         args.out = str(
             Path(__file__).resolve().parent.parent / "BENCH_PR2.json"

@@ -60,14 +60,16 @@ EXPERIMENTS = (
     "sweep",
     "cross_era",
     "scaling",
+    "policies",
 )
 
 VariantLike = Union[str, Variant, None]
 
 
 def list_apps() -> List[str]:
-    """Names of the registered benchmark applications."""
-    return list(registry.APP_NAMES)
+    """Names of the registered benchmark applications (the paper's
+    Table 2 eight plus extension workloads such as ``irreg``)."""
+    return list(registry.ALL_APP_NAMES)
 
 
 def _as_variant(variant: VariantLike) -> Optional[Variant]:
@@ -101,10 +103,13 @@ def point_spec(
     resolved = _as_variant(variant)
     module = registry.load(app)
     if options is not None:
-        # The network backend is simulated semantics, not a wall-clock
-        # toggle: copy it into the RunConfig overrides (explicit
-        # ``network=`` keyword wins).
+        # The network backend and the sharing-policy triple are
+        # simulated semantics, not wall-clock toggles: copy them into
+        # the RunConfig overrides (explicit keywords win).
         overrides.setdefault("network", options.network)
+        overrides.setdefault("granularity", options.granularity)
+        overrides.setdefault("prefetch", options.prefetch)
+        overrides.setdefault("homing", options.homing)
     if cluster is None:
         # Auto-grow past the paper's 32-CPU testbed (PR 7): counts that
         # fit keep the default 8-node cluster (and its goldens); larger

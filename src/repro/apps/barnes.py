@@ -261,7 +261,9 @@ def worker(env, shared: Dict, params: Dict):
 
         # Phase 2: force computation on assigned bodies.  Tree pages
         # are demand-fetched by the traversals, as in the real program.
-        page_rows = env.protocol.space.page_size // (CELL_FIELDS * 8)
+        # Fetch-blocking heuristic keyed on the VM page (not the sharing
+        # unit): keeps the access pattern — and results — policy-invariant.
+        page_rows = env.protocol.space.vm_page_size // (CELL_FIELDS * 8)
         cell_cache = {}
 
         def fetch_cell(idx):

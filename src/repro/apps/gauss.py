@@ -84,7 +84,9 @@ def _padded_width(n: int, page_size: int) -> int:
 
 def setup(space, params: Dict) -> Dict:
     n = params["n"]
-    width = _padded_width(n, space.page_size)
+    # Pad to the VM page (not the sharing unit): data layout must not
+    # vary with the granularity policy, or results would differ.
+    width = _padded_width(n, space.vm_page_size)
     rng = deterministic_rng(params.get("seed", 1997))
     a = rng.random((n, n)) + np.eye(n) * n  # diagonally dominant
     b = rng.random(n)

@@ -1,0 +1,174 @@
+"""IRREG: an irregular, false-sharing-prone extension workload (PR 10).
+
+Not one of the paper's eight applications — a policy stressor built for
+the sharing-policy study (``repro-dsm policies``, docs/POLICIES.md).
+It models the hash-table/graph class of workloads DRust and the
+fine-granularity DSM literature use to show false sharing dominating
+page-based protocols:
+
+* Shared state is an array of 256-byte *buckets* (32 float64 slots),
+  double-buffered (``cur``/``nxt``).  Buckets are owned block-cyclically
+  — ``owner(b) = b % nprocs`` — so every 8 KB page interleaves buckets
+  of **all** processors.
+* Work is *sparse*: each iteration only the buckets in the rotating
+  **active runs** are updated — runs of ``RUN`` consecutive buckets,
+  one run in every ``ACTIVE_PERIOD`` run-groups, shifting by one group
+  per iteration (a pure function of ``(b, it)``).  A run's ``RUN``
+  consecutive buckets belong to ``RUN`` *different* owners, so at page
+  granularity every page containing a run is write-shared by several
+  processors every iteration (false sharing: whole-page invalidations,
+  twins and diff traffic for 256-byte writes), while at ``block256``
+  each written bucket has exactly one writer and an owner's unwritten
+  buckets stay valid — the write-side churn vanishes.
+* Each iteration, an owner reads its active buckets from ``cur``
+  (every 8th bucket also reads one pseudo-randomly *hashed* foreign
+  bucket — the irregular pointer-chase), writes the updates to
+  ``nxt``, and meets a barrier.
+* An *audit scan* then sequentially checksums the 8 fixed bucket bands
+  of ``nxt`` (band ``k`` audited by rank ``k % nprocs``) and publishes
+  each checksum to a shared accumulator.  Only the just-written runs
+  re-fault, and within a run the faults are sequential — the pattern
+  sequential prefetch exists for.
+
+Results are processor-count independent by construction: every bucket
+and every accumulator slot has a single writer per iteration, update
+values are pure functions of the previous buffer and the bucket index,
+and the fixed 8-band audit partition does not depend on ``nprocs``.
+Any granularity × prefetch × homing combination must therefore produce
+identical return values (enforced by ``tests/test_sharing_policy.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.config import WorkingSet
+from repro.core import Program, SharedArray
+from repro.apps.common import band, deterministic_rng, pick_scale
+
+#: float64 slots per bucket: 32 * 8 B = 256 B, the ``block256`` unit.
+SLOTS = 32
+
+#: Every 8th bucket chases one hashed foreign bucket per iteration.
+FOREIGN_EVERY = 8
+
+#: Fixed audit bands (independent of nprocs, so checksums are too).
+NBANDS = 8
+
+#: Active-run shape: runs of RUN consecutive buckets, one run per
+#: ACTIVE_PERIOD run-groups, rotating one group per iteration.  Both
+#: the run membership and its rotation depend only on ``(b, it)`` —
+#: never on ``nprocs`` — so results stay processor-count independent.
+RUN = 4
+ACTIVE_PERIOD = 8
+
+
+def _is_active(b: int, it: int) -> bool:
+    """Whether bucket ``b`` is updated during iteration ``it``."""
+    return ((b // RUN) + it) % ACTIVE_PERIOD == 0
+
+# Per-slot update/scan costs: an irregular, cache-unfriendly workload on
+# the paper's 233 MHz 21064A.
+US_PER_SLOT = 0.15
+SCAN_US_PER_SLOT = 0.04
+POLLS_PER_SLOT = 1
+
+
+def default_params(scale: str = "small") -> Dict:
+    sizes = {
+        "tiny": dict(blocks=64, iters=4),
+        "small": dict(blocks=512, iters=10),
+        "large": dict(blocks=1024, iters=12),
+        # The registry's nominal "4096 blocks (1 MB)" table size.
+        "xlarge": dict(blocks=4096, iters=16),
+    }
+    return pick_scale(sizes, scale)
+
+
+def _hash_foreign(b: int, it: int, blocks: int) -> int:
+    """Deterministic pseudo-random foreign bucket for bucket ``b`` at
+    iteration ``it`` (never ``b`` itself)."""
+    f = (b * 2654435761 + it * 40503 + 12345) % blocks
+    return (f + 1) % blocks if f == b else f
+
+
+def setup(space, params: Dict) -> Dict:
+    blocks, iters = params["blocks"], params["iters"]
+    rng = deterministic_rng(params.get("seed", 1997))
+    cur = SharedArray.alloc(space, "irreg_a", np.float64, (blocks * SLOTS,))
+    nxt = SharedArray.alloc(space, "irreg_b", np.float64, (blocks * SLOTS,))
+    acc = SharedArray.alloc(space, "irreg_acc", np.float64, (iters * NBANDS,))
+    cur.initialize(rng.random(blocks * SLOTS))
+    nxt.initialize(np.zeros(blocks * SLOTS))
+    acc.initialize(np.zeros(iters * NBANDS))
+    return {"cur": cur, "nxt": nxt, "acc": acc, "blocks": blocks}
+
+
+def _update(vals: np.ndarray, b: int, it: int, foreign0: float) -> np.ndarray:
+    """New contents of bucket ``b``: a pure function of its old slots,
+    its index, the iteration, and (for chased buckets) the first slot of
+    the hashed foreign bucket."""
+    out = 0.5 * vals + 0.25 * np.roll(vals, 1)
+    out += 0.001 * (b + np.arange(SLOTS)) + 0.0001 * it
+    out += 0.1 * foreign0
+    return out
+
+
+def worker(env, shared: Dict, params: Dict):
+    blocks, iters = params["blocks"], params["iters"]
+    cur, nxt, acc = shared["cur"], shared["nxt"], shared["acc"]
+    rank, nprocs = env.rank, env.nprocs
+    mine = list(range(rank, blocks, nprocs))  # block-cyclic ownership
+    # The pointer-chase defeats the cache; no extra protocol footprint.
+    ws = WorkingSet(primary=0)
+    for it in range(iters):
+        # -- update phase: read own active (+ hashed foreign) buckets
+        # from ``cur``, write the updates to ``nxt``.
+        for b in mine:
+            if not _is_active(b, it):
+                continue
+            vals = yield from cur.read_range(env, b * SLOTS, SLOTS)
+            foreign0 = 0.0
+            if b % FOREIGN_EVERY == 0:
+                f = _hash_foreign(b, it, blocks)
+                fvals = yield from cur.read_range(env, f * SLOTS, 1)
+                foreign0 = float(fvals[0])
+            yield from env.compute(
+                SLOTS * US_PER_SLOT, polls=SLOTS * POLLS_PER_SLOT, ws=ws
+            )
+            yield from nxt.write_range(
+                env, b * SLOTS, _update(vals, b, it, foreign0)
+            )
+        yield from env.barrier(0)
+        # -- audit phase: sequential checksum scan of ``nxt`` over the
+        # fixed bands (band ``k`` audited by rank ``k % nprocs`` every
+        # iteration, so its scanner holds stale copies to re-validate);
+        # one writer per accumulator slot.
+        for band_idx in range(NBANDS):
+            if band_idx % nprocs != rank:
+                continue
+            lo_b, hi_b = band(band_idx, NBANDS, blocks)
+            count = (hi_b - lo_b) * SLOTS
+            if count <= 0:
+                continue
+            data = yield from nxt.read_range(env, lo_b * SLOTS, count)
+            yield from env.compute(
+                count * SCAN_US_PER_SLOT, polls=count * POLLS_PER_SLOT, ws=ws
+            )
+            yield from acc.write_range(
+                env, it * NBANDS + band_idx, np.array([data.sum()])
+            )
+        yield from env.barrier(1)
+        cur, nxt = nxt, cur
+    env.stop_timer()
+    if rank == 0:
+        final = yield from cur.read_all(env)
+        audits = yield from acc.read_all(env)
+        return final.sum(), final.reshape(blocks, SLOTS).sum(axis=1), audits
+    return None
+
+
+def program() -> Program:
+    return Program(name="irreg", setup=setup, worker=worker)

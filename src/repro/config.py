@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.memory import policy as sharing_policy
+
 
 class SystemKind(enum.Enum):
     """Which DSM protocol a run uses."""
@@ -180,9 +182,23 @@ class CostModel:
     # (the 21064A's L2 is off-chip; blocked kernels slow down sharply)
     mem_penalty: float = 2.3  # compute inflation when working out of DRAM
 
+    # --- Sharing-unit scaling (PR 10, docs/POLICIES.md) ---
+    # Per-message floor for unit-scaled costs: however small the
+    # sharing unit, a twin/diff/fetch still pays at least one
+    # user-level message's CPU cost (= msg_cpu_mc).  Linear scaling
+    # alone would let a 64-byte unit charge 2.8 us for a twin — below
+    # a single wire message, which no real implementation achieves.
+    # The floor never binds at page size or above (every per-8KB base
+    # is >= 290 us), so default-granularity results are untouched.
+    unit_cost_floor: float = 9.0
+
     def page_sized(self, base_8k: float, page_size: int) -> float:
-        """Scale a per-8KB-page cost to ``page_size`` bytes."""
-        return base_8k * (page_size / 8192.0)
+        """Scale a per-8KB-page cost to ``page_size`` bytes.
+
+        Clamped below by :attr:`unit_cost_floor` so sub-page sharing
+        units cannot charge less than one wire message per operation.
+        """
+        return max(base_8k * (page_size / 8192.0), self.unit_cost_floor)
 
     def twin_cost(self, page_size: int) -> float:
         return self.page_sized(self.twin_page_8k, page_size)
@@ -293,6 +309,15 @@ class RunConfig:
     # at release points.  None = unlimited (the paper's machines never
     # paged).  Changes simulated results when it actually evicts.
     node_mem_pages: Optional[int] = None
+    # --- Sharing policy (PR 10, docs/POLICIES.md) --------------------
+    # The unit of sharing and its fetch/placement policies.  The
+    # default triple (page, none, first-touch) reconstructs the
+    # pre-policy stack exactly — bit-identical to every golden; any
+    # other value changes simulated results and enters the cache key
+    # (by resolved value, see repro.harness.cache.run_key).
+    granularity: str = "page"  # block256/block1k/block2k/page/region2/region4
+    prefetch: str = "none"  # none/seq/stride
+    homing: str = "first-touch"  # first-touch/round-robin/dynamic
 
     def __post_init__(self) -> None:
         if self.network not in NETWORK_BACKENDS:
@@ -314,6 +339,48 @@ class RunConfig:
             raise ValueError("dir_shards must be >= 1")
         if self.node_mem_pages is not None and self.node_mem_pages < 1:
             raise ValueError("node_mem_pages must be >= 1")
+        sharing_policy.validate_prefetch(self.prefetch)
+        sharing_policy.validate_homing(self.homing)
+        # Resolution also validates divisibility against the VM page.
+        sharing_policy.resolve_unit_size(
+            self.granularity, self.cluster.page_size
+        )
+
+    # -- sharing policy (PR 10) ----------------------------------------
+
+    @property
+    def unit_bytes(self) -> Optional[int]:
+        """Sharing-unit size in bytes; ``None`` means "the VM page".
+
+        ``None`` at the default granularity lets the address space be
+        constructed exactly as the pre-policy tree constructed it —
+        the bit-identity guarantee by construction, not by arithmetic.
+        """
+        return sharing_policy.resolve_unit_size(
+            self.granularity, self.cluster.page_size
+        )
+
+    @property
+    def resolved_unit_bytes(self) -> int:
+        """Unit size with the VM-page default made concrete (for the
+        result-cache key: ``granularity="page"`` and an explicit unit
+        of the same byte count share an entry)."""
+        return self.unit_bytes or self.cluster.page_size
+
+    @property
+    def resolved_homing(self) -> str:
+        """Homing mode after the legacy ``first_touch_homes`` ablation
+        flag (PR 0's Cashmere knob) is folded in: switching first-touch
+        off demotes the default to round-robin, exactly the behaviour
+        the first-touch ablation always had.  An explicit non-default
+        ``homing`` wins over the legacy flag."""
+        if self.homing == "first-touch" and not self.first_touch_homes:
+            return "round-robin"
+        return self.homing
+
+    def make_prefetcher(self):
+        """A fresh per-run prefetcher, or ``None`` for demand fetch."""
+        return sharing_policy.make_prefetcher(self.prefetch)
 
     # -- scaling policy (PR 7) -----------------------------------------
 

@@ -321,6 +321,46 @@ class DsmProtocol(abc.ABC):
             )
             pos += length
 
+    # -- software prefetch (docs/POLICIES.md) ------------------------------
+
+    #: the run's prefetcher (``None`` = demand fetch only, the paper's
+    #: behavior); protocols construct one from the run config's
+    #: ``prefetch`` knob in ``__init__``
+    prefetcher = None
+
+    #: re-entrance guard: fetches issued by a prefetch never prefetch
+    _prefetching = False
+
+    def _after_fault(self, proc: Processor, page: int) -> Generator:
+        """Issue the sharing policy's software prefetches after a demand
+        fault on ``page``.
+
+        With no prefetcher this yields nothing, and a generator that
+        yields no events is invisible to the simulation — the default
+        ``prefetch="none"`` policy is bit-identical by construction.
+        Prefetched units are validated to READ without the demand-fault
+        kernel trap (see :meth:`_prefetch_page`).
+        """
+        pf = self.prefetcher
+        if pf is None or self._prefetching:
+            return
+        predicted = pf.predict(proc.pid, page, self.space.n_pages)
+        if not predicted:
+            return
+        self._prefetching = True
+        try:
+            for unit in predicted:
+                yield from self._prefetch_page(proc, unit)
+        finally:
+            self._prefetching = False
+
+    def _prefetch_page(self, proc: Processor, page: int) -> Generator:
+        """Bring ``page`` to READ at ``proc`` without charging the
+        demand-fault trap.  Protocols that support prefetch override
+        this; the base implementation does nothing."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
     def check_perm_bitmaps(self) -> None:
         """Assert the bitmaps agree with per-page ``perm`` state
         (subclasses supply the authoritative pairs via

@@ -32,6 +32,7 @@ from repro.core.cashmere.directory import Directory, DirectoryEntry
 from repro.core.fastpath import PermBitmaps
 from repro.core.cashmere.lists import NoticeList
 from repro.core.cashmere.sync import SyncTable
+from repro.memory import policy as sharing_policy
 from repro.memory.address_space import AddressSpace
 from repro.memory.page import Protection
 from repro.sim import Engine
@@ -115,6 +116,13 @@ class CashmereProtocol(DsmProtocol):
         self.master: Dict[int, np.ndarray] = {}
         self.perms = PermBitmaps(cluster.nprocs, space.n_pages)
         self._next_home_rr = 0  # used when first-touch homing is disabled
+        self.prefetcher = run_cfg.make_prefetcher()
+        # Dynamic re-homing state (docs/POLICIES.md): per-unit remote
+        # fetch counts by node since the unit's last (re-)homing, and
+        # per-unit migration counts bounding ping-pong.
+        self._dynamic_homing = run_cfg.resolved_homing == "dynamic"
+        self._fetch_counts: Dict[int, Dict[int, int]] = {}
+        self._migrations: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # page table helpers
@@ -277,6 +285,7 @@ class CashmereProtocol(DsmProtocol):
         yield from self._validate_page(proc, page, entry)
         self._set_perm(proc.pid, page, entry, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+        yield from self._after_fault(proc, page)
 
     def ensure_write(self, proc: Processor, page: int) -> Generator:
         entry = self._entry(proc.pid, page)
@@ -298,6 +307,32 @@ class CashmereProtocol(DsmProtocol):
         elif dir_entry.exclusive_holder != proc.pid:
             state.dirty.append(page)
         self._set_perm(proc.pid, page, entry, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _prefetch_page(self, proc: Processor, page: int) -> Generator:
+        """Software prefetch: validate ``page`` to READ at ``proc``
+        exactly like a read fault, minus the demand-fault kernel trap
+        (the win the user-level-DSM prefetch literature reports).
+
+        Re-validation only: units this processor never mapped are
+        skipped (first touches stay demand faults, so prefetch never
+        perturbs placement or joins sharing sets speculatively), and a
+        unit held exclusively by another processor is never prefetched
+        (breaking its exclusive mode would cost the *owner* faults and
+        notices to save the prefetcher one trap)."""
+        entry = self.entries[proc.pid].get(page)
+        if entry is None or entry.perm.allows_read():
+            return
+        dir_entry = self.directory.entry(page)
+        if not dir_entry.home_assigned:
+            return
+        holder = dir_entry.exclusive_holder
+        if holder is not None and holder != proc.pid:
+            return
+        proc.bump("prefetches")
+        self.trace(proc, "prefetch", page=page)
+        yield from self._validate_page(proc, page, entry)
+        self._set_perm(proc.pid, page, entry, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def _validate_page(
@@ -329,15 +364,18 @@ class CashmereProtocol(DsmProtocol):
     def _assign_home(
         self, proc: Processor, dir_entry: DirectoryEntry
     ) -> Generator:
-        """First-touch home assignment (or round-robin when disabled)."""
-        if self.cfg.first_touch_homes:
-            home = proc.node.nid
-            first_touch = True
-        else:
+        """Home assignment per the run's ``homing`` policy: first-touch
+        (the paper), round-robin over active nodes in assignment order,
+        or dynamic (first-touch now, re-homed later on a remote-fetch
+        majority — see :meth:`_maybe_migrate_home`)."""
+        if self.cfg.resolved_homing == "round-robin":
             active = [n.nid for n in self.cluster.nodes if n.processors]
             home = active[self._next_home_rr % len(active)]
             self._next_home_rr += 1
             first_touch = False
+        else:  # first-touch and dynamic both start at the toucher's node
+            home = proc.node.nid
+            first_touch = True
         dir_entry.home_node = home
         dir_entry.home_from_first_touch = first_touch
         self.trace(proc, "home_assigned", page=dir_entry.page, home=home)
@@ -390,6 +428,59 @@ class CashmereProtocol(DsmProtocol):
             entry.copy[:] = snapshot
             proc.bump("page_transfers")
         self.trace(proc, "page_transfer", page=page, home=dir_entry.home_node)
+        if self._dynamic_homing:
+            yield from self._maybe_migrate_home(proc, page, entry, dir_entry)
+
+    def _maybe_migrate_home(
+        self,
+        proc: Processor,
+        page: int,
+        entry: PageEntry,
+        dir_entry: DirectoryEntry,
+    ) -> Generator:
+        """Dynamic homing: re-home ``page`` to a node that establishes a
+        remote-fetch majority.
+
+        Every remote fetch bumps the fetching node's counter; when one
+        node reaches ``MIGRATE_AFTER`` fetches since the unit's last
+        (re-)homing — strictly more than any other node over the same
+        window — the home moves there.  The move updates the directory
+        under the entry lock (the same charge as asserting first touch)
+        and materializes private copies for processors that were
+        aliasing the old home mapping; the migrating processor's fresh
+        copy becomes the new home alias.  ``MIGRATE_LIMIT`` bounds
+        ping-pong.  Yields nothing unless a migration happens.
+        """
+        counts = self._fetch_counts.setdefault(page, {})
+        nid = proc.node.nid
+        counts[nid] = counts.get(nid, 0) + 1
+        if self._migrations.get(page, 0) >= sharing_policy.MIGRATE_LIMIT:
+            return
+        mine = counts[nid]
+        if mine < sharing_policy.MIGRATE_AFTER:
+            return
+        if any(c >= mine for n, c in counts.items() if n != nid):
+            return
+        old_home = dir_entry.home_node
+        master = self._master_page(page)
+        for peer in self.cluster.nodes[old_home].processors:
+            peer_entry = self.entries[peer.pid].get(page)
+            if (
+                peer_entry is not None
+                and peer_entry.perm is not Protection.NONE
+                and peer_entry.copy is None
+            ):
+                peer_entry.copy = master.copy()
+        entry.copy = None
+        dir_entry.home_node = nid
+        dir_entry.home_from_first_touch = False
+        self._migrations[page] = self._migrations.get(page, 0) + 1
+        self._fetch_counts[page] = {}
+        proc.bump("home_migrations")
+        self.trace(
+            proc, "home_migrated", page=page, home=nid, old=old_home
+        )
+        yield from self._dir_update(proc, locked=True, page=page)
 
     # ------------------------------------------------------------------
     # data access

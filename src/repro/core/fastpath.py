@@ -9,6 +9,11 @@ per-page :class:`~repro.memory.page.Protection` state, so the
 already-mapped case is one vectorized slice check instead of a chain of
 generators.
 
+The bitmaps are indexed by coherence *unit* — the VM page by default,
+sub-page blocks or multi-page regions under a non-default granularity
+policy (docs/POLICIES.md); the whole layer re-keys automatically off
+``AddressSpace.page_size``.
+
 The bitmaps are *redundant* state: the per-page ``perm`` fields remain
 authoritative, and every protocol updates the bitmaps at every
 transition (fault upgrades, invalidations, release/barrier downgrades).

@@ -34,6 +34,7 @@ from repro.cluster.machine import Processor
 from repro.cluster.messaging import Request
 from repro.core.lrc import LrcProcState, LrcProtocolBase
 from repro.core.intervals import IntervalStore
+from repro.memory import policy as sharing_policy
 from repro.memory.diff import apply_diff, make_diff
 from repro.memory.page import Protection
 from repro.stats import Category
@@ -79,11 +80,17 @@ class HlrcProtocol(LrcProtocolBase):
         # The authoritative home copies (the home processor's ``copy``
         # aliases these).
         self.home_pages: Dict[int, np.ndarray] = {}
-        # Home assignments; with ``first_touch_homes`` (the default) a
+        # Home assignments; with ``first-touch`` homing (the default) a
         # page's first faulting processor becomes its home, exactly the
         # placement lesson Cashmere taught (Section 2.1) and the HLRC
         # systems adopted.
         self.homes: Dict[int, int] = {}
+        # Dynamic re-homing state (docs/POLICIES.md): per-unit remote
+        # fetch counts by processor since the unit's last (re-)homing,
+        # and per-unit migration counts bounding ping-pong.
+        self._dynamic_homing = self.cfg.resolved_homing == "dynamic"
+        self._fetch_counts: Dict[int, Dict[int, int]] = {}
+        self._migrations: Dict[int, int] = {}
 
     def _make_proc_state(self) -> ProcState:
         return ProcState(
@@ -96,14 +103,15 @@ class HlrcProtocol(LrcProtocolBase):
         return self.homes.get(page_idx)
 
     def _assign_home(self, proc: Processor, page_idx: int) -> Generator:
-        """First-touch (or round-robin) home assignment, broadcast like
-        a Cashmere directory update."""
+        """Home assignment per the run's ``homing`` policy (first-touch,
+        round-robin by unit index, or dynamic = first-touch now plus
+        re-homing later), broadcast like a Cashmere directory update."""
         if page_idx in self.homes:
             return
-        if self.cfg.first_touch_homes:
-            home = proc.pid
-        else:
+        if self.cfg.resolved_homing == "round-robin":
             home = page_idx % self.nprocs
+        else:  # first-touch and dynamic both start at the toucher
+            home = proc.pid
         self.homes[page_idx] = home
         self.trace(proc, "home_assigned", page=page_idx, home=home)
         yield from proc.busy(self.costs.dir_modify_locked, Category.PROTOCOL)
@@ -143,6 +151,7 @@ class HlrcProtocol(LrcProtocolBase):
         yield from self._validate_page(proc, page_idx, page)
         self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+        yield from self._after_fault(proc, page_idx)
 
     def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
         state = self._state(proc)
@@ -167,6 +176,23 @@ class HlrcProtocol(LrcProtocolBase):
             )
         state.notices.add(page_idx)
         self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _prefetch_page(self, proc: Processor, page_idx: int) -> Generator:
+        """Software prefetch: re-validate an invalidated unit to READ
+        without the demand-fault kernel trap.  Re-validation only: units
+        whose home is unassigned or that this processor holds no stale
+        copy of are skipped — placement and first touches stay with
+        demand faults."""
+        if page_idx not in self.homes:
+            return
+        page = self._state(proc).pages.get(page_idx)
+        if page is None or page.copy is None or page.perm.allows_read():
+            return
+        proc.bump("prefetches")
+        self.trace(proc, "prefetch", page=page_idx)
+        yield from self._validate_page(proc, page_idx, page)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:
@@ -241,6 +267,50 @@ class HlrcProtocol(LrcProtocolBase):
             apply_diff(page.copy, own_diff)
         proc.bump("page_fetches")
         self.trace(proc, "page_fetch", page=page_idx, home=home)
+        if self._dynamic_homing and own_diff is None:
+            yield from self._maybe_migrate_home(proc, page_idx, page, home)
+
+    def _maybe_migrate_home(
+        self, proc: Processor, page_idx: int, page: HlrcPage, old_home: int
+    ) -> Generator:
+        """Dynamic homing: re-home ``page_idx`` to a processor that
+        establishes a remote-fetch majority.
+
+        Mirrors Cashmere's policy, keyed by processor (HLRC homes are
+        pids): ``MIGRATE_AFTER`` fetches since the last (re-)homing,
+        strictly more than any other fetcher, moves the home; the
+        fetcher's fresh copy — identical to the authoritative content it
+        just pulled — becomes the new home copy.  Never fires while the
+        old home is mid-interval on the page (the home writes in place,
+        so unseating it would strand unflushed writes), nor for a
+        fetcher holding its own twin.  ``MIGRATE_LIMIT`` bounds
+        ping-pong.  Yields nothing unless a migration happens.
+        """
+        counts = self._fetch_counts.setdefault(page_idx, {})
+        pid = proc.pid
+        counts[pid] = counts.get(pid, 0) + 1
+        if self._migrations.get(page_idx, 0) >= sharing_policy.MIGRATE_LIMIT:
+            return
+        mine = counts[pid]
+        if mine < sharing_policy.MIGRATE_AFTER:
+            return
+        if any(c >= mine for p, c in counts.items() if p != pid):
+            return
+        old_page = self.procs[old_home].pages.get(page_idx)
+        if old_page is not None and old_page.perm is Protection.READ_WRITE:
+            return
+        self.homes[page_idx] = pid
+        self.home_pages[page_idx] = page.copy
+        self._migrations[page_idx] = self._migrations.get(page_idx, 0) + 1
+        self._fetch_counts[page_idx] = {}
+        proc.bump("home_migrations")
+        self.trace(
+            proc, "home_migrated", page=page_idx, home=pid, old=old_home
+        )
+        # Announcing the new home is a locked directory update, like the
+        # original assignment.
+        yield from proc.busy(self.costs.dir_modify_locked, Category.PROTOCOL)
+        self.network.write(proc.node.nid, 8, broadcast=True)
 
     # ------------------------------------------------------------------
     # eager diff propagation (release side)
@@ -346,7 +416,10 @@ class HlrcProtocol(LrcProtocolBase):
         self, proc: Processor, request: Request
     ) -> Generator:
         page_idx, diff = request.payload
-        if self._home_of(page_idx) != proc.pid:
+        if self._home_of(page_idx) != proc.pid and not self._dynamic_homing:
+            # Under dynamic homing the home may have moved while this
+            # diff was in flight; ``_home_page`` below resolves to the
+            # *current* authoritative copy, so the diff still lands.
             raise RuntimeError(
                 f"diff for page {page_idx} sent to non-home p{proc.pid}"
             )

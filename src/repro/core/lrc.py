@@ -125,6 +125,7 @@ class LrcProtocolBase(DsmProtocol):
         self.procs = {
             p.pid: self._make_proc_state() for p in cluster.procs
         }
+        self.prefetcher = run_cfg.make_prefetcher()
         self.lock_last_owner: Dict[int, int] = {}
         self.barriers: Dict = {}  # barrier_id (flat) or hier key -> state
         # Hierarchical group-leader barrier topology (PR 7): above the

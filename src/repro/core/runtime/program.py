@@ -121,7 +121,9 @@ def build_system(
         engine, cluster, network, run_cfg.costs, run_cfg.variant.transport
     )
     if space is None:
-        space = AddressSpace(run_cfg.cluster.page_size)
+        space = AddressSpace(
+            run_cfg.cluster.page_size, unit_size=run_cfg.unit_bytes
+        )
     tracer = Tracer(enabled=run_cfg.trace)
     protocol = _build_protocol(
         run_cfg.variant.system,
@@ -195,7 +197,12 @@ def run_program(
 ) -> RunResult:
     """Execute ``program`` on ``run_cfg.nprocs`` simulated processors."""
     params = dict(params or {})
-    space = AddressSpace(run_cfg.cluster.page_size)
+    # The space's "pages" are the run's sharing units (docs/POLICIES.md);
+    # unit_bytes is None at the default granularity, reconstructing the
+    # pre-policy space exactly.
+    space = AddressSpace(
+        run_cfg.cluster.page_size, unit_size=run_cfg.unit_bytes
+    )
     shared = program.setup(space, params)
     system = build_system(run_cfg, space=space, placement=placement)
     engine = system.engine

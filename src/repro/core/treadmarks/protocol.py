@@ -157,6 +157,7 @@ class TreadMarksProtocol(LrcProtocolBase):
         yield from self._validate_page(proc, page_idx, page)
         self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+        yield from self._after_fault(proc, page_idx)
 
     def ensure_write(self, proc: Processor, page_idx: int) -> Generator:
         state = self._state(proc)
@@ -183,6 +184,21 @@ class TreadMarksProtocol(LrcProtocolBase):
             )
         state.notices.add(page_idx)
         self._set_perm(proc.pid, page_idx, page, Protection.READ_WRITE)
+        yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
+
+    def _prefetch_page(self, proc: Processor, page_idx: int) -> Generator:
+        """Software prefetch: re-validate an invalidated unit to READ
+        without the demand-fault kernel trap.  Units never touched by
+        this processor (no base copy yet) are skipped — prefetch speeds
+        up re-validation; cold first touches stay demand faults."""
+        state = self._state(proc)
+        page = state.page(page_idx)
+        if page.perm.allows_read() or page.copy is None:
+            return
+        proc.bump("prefetches")
+        self.trace(proc, "prefetch", page=page_idx)
+        yield from self._validate_page(proc, page_idx, page)
+        self._set_perm(proc.pid, page_idx, page, Protection.READ)
         yield from proc.busy(self.costs.mprotect, Category.PROTOCOL)
 
     def page_data(self, proc: Processor, page_idx: int) -> np.ndarray:

@@ -43,7 +43,7 @@ from typing import Any, Dict, Optional
 from repro.config import RunConfig
 
 #: Bump to invalidate every existing cache entry (result shape change).
-CACHE_SCHEMA = 3  # 3: scaling knobs (fan-in/shards/mem) entered the run key
+CACHE_SCHEMA = 4  # 4: sharing-policy knobs (granularity/prefetch/homing) entered the run key
 
 _ENV_VAR = "REPRO_DSM_CACHE"
 
@@ -132,6 +132,13 @@ def run_key(
             "lrc_barrier_group": cfg.lrc_barrier_group,
             "dir_shards": cfg.resolved_dir_shards,
             "node_mem_pages": cfg.node_mem_pages,
+            # Sharing-policy knobs (PR 10): granularity by resolved unit
+            # bytes (``page`` and an explicit unit of the same size
+            # share an entry), homing with the legacy first-touch
+            # ablation flag folded in.
+            "granularity": cfg.resolved_unit_bytes,
+            "prefetch": cfg.prefetch,
+            "homing": cfg.resolved_homing,
         },
     }
     return _digest(payload)

@@ -31,6 +31,7 @@ from repro.config import (
 )
 from repro.apps import registry
 from repro.harness import figure5
+from repro.memory.policy import GRANULARITIES, HOMINGS, PREFETCHES
 from repro.harness.cache import ResultCache
 from repro.harness.runner import ExperimentContext
 from repro.options import SimOptions
@@ -161,6 +162,39 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--granularity",
+        default=None,
+        choices=GRANULARITIES,
+        help=(
+            "coherence-unit size: sub-page blocks (block256/1k/2k), "
+            "the VM page (default), or multi-page regions "
+            "(region2/region4) — CHANGES simulated results; see "
+            "docs/POLICIES.md"
+        ),
+    )
+    parser.add_argument(
+        "--prefetch",
+        default=None,
+        choices=PREFETCHES,
+        help=(
+            "software prefetch policy: none (demand faults only, "
+            "default), seq (next-unit run-ahead), or stride "
+            "(confirmed-stride run-ahead) — CHANGES simulated results; "
+            "see docs/POLICIES.md"
+        ),
+    )
+    parser.add_argument(
+        "--homing",
+        default=None,
+        choices=HOMINGS,
+        help=(
+            "home-assignment policy: first-touch (the paper's, "
+            "default), round-robin, or dynamic (re-home to the "
+            "dominant remote fetcher) — CHANGES simulated results; see "
+            "docs/POLICIES.md"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         metavar="FILE",
         default=None,
@@ -186,6 +220,9 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         no_kernels=args.no_kernels,
         no_shard=args.no_shard,
         network=args.network,
+        granularity=args.granularity,
+        prefetch=args.prefetch,
+        homing=args.homing,
     ).apply()
     return ExperimentContext(
         scale=args.scale,
@@ -221,12 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p3 = sub.add_parser("table3", help="detailed statistics (polling)")
     _add_common(p3)
-    p3.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    p3.add_argument("--apps", nargs="+", choices=registry.ALL_APP_NAMES)
     p3.add_argument("--procs", type=int, help="override processor count")
 
     f5 = sub.add_parser("figure5", help="speedup curves")
     _add_common(f5)
-    f5.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    f5.add_argument("--apps", nargs="+", choices=registry.ALL_APP_NAMES)
     f5.add_argument(
         "--variants",
         nargs="+",
@@ -251,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     f6 = sub.add_parser("figure6", help="execution-time breakdown")
     _add_common(f6)
-    f6.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    f6.add_argument("--apps", nargs="+", choices=registry.ALL_APP_NAMES)
     f6.add_argument("--procs", type=int, help="override processor count")
     f6.add_argument(
         "--chart",
@@ -265,7 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(memch / rdma / ethernet; see docs/NETWORKS.md)",
     )
     _add_common(ce)
-    ce.add_argument("--apps", nargs="+", choices=registry.APP_NAMES)
+    ce.add_argument("--apps", nargs="+", choices=registry.ALL_APP_NAMES)
     ce.add_argument(
         "--variants",
         nargs="+",
@@ -304,7 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="grow the problem with the machine (weak) or hold it "
         "fixed (strong)",
     )
-    sc.add_argument("--app", default="sor", choices=registry.APP_NAMES)
+    sc.add_argument("--app", default="sor", choices=registry.ALL_APP_NAMES)
     sc.add_argument(
         "--counts",
         nargs="+",
@@ -345,6 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
         "CHANGES simulated results)",
     )
 
+    po = sub.add_parser(
+        "policies",
+        help="sharing-policy study: granularity x prefetch x homing "
+        "A/B against the default (page, none, first-touch) triple "
+        "(see docs/POLICIES.md)",
+    )
+    _add_common(po)
+    po.add_argument(
+        "--app",
+        default="irreg",
+        choices=registry.ALL_APP_NAMES,
+        help="subject application (default: the false-sharing "
+        "extension workload irreg)",
+    )
+    po.add_argument(
+        "--variants",
+        nargs="+",
+        choices=[v.name for v in ALL_VARIANTS + EXTENSION_VARIANTS],
+        help="protocol variants (default: csm_poll tmk_mc_poll "
+        "hlrc_poll)",
+    )
+    po.add_argument(
+        "--procs", type=int, default=8, help="processor count (default 8)"
+    )
+
     sw = sub.add_parser("sweep", help="network-sensitivity sweeps")
     _add_common(sw)
     sw.add_argument(
@@ -352,7 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bandwidth",
         choices=("bandwidth", "latency"),
     )
-    sw.add_argument("--app", default="sor", choices=registry.APP_NAMES)
+    sw.add_argument("--app", default="sor", choices=registry.ALL_APP_NAMES)
     sw.add_argument("--procs", type=int, default=16)
 
     tr = sub.add_parser(
@@ -361,7 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline (JSONL or Chrome trace format)",
     )
     _add_common(tr)
-    tr.add_argument("app", choices=registry.APP_NAMES)
+    tr.add_argument("app", choices=registry.ALL_APP_NAMES)
     tr.add_argument(
         "--variants",
         nargs="+",
@@ -617,7 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     one = sub.add_parser("run", help="one application run, in detail")
     _add_common(one)
-    one.add_argument("app", choices=registry.APP_NAMES)
+    one.add_argument("app", choices=registry.ALL_APP_NAMES)
     one.add_argument(
         "--variant",
         default="csm_poll",
@@ -684,6 +746,7 @@ def _run_one(ctx: ExperimentContext, args: argparse.Namespace) -> None:
         "read_faults", "write_faults", "page_transfers", "page_fetches",
         "twins_created", "diffs_created", "messages", "rdma_reads",
         "data_bytes", "write_through_bytes", "gc_rounds",
+        "prefetches", "home_migrations",
     )
     for name in interesting:
         if agg[name]:
@@ -906,6 +969,15 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "variants": _parse_variants(args.variants),
                 "counts": args.counts,
                 "networks": args.networks,
+            }
+        elif args.command == "policies":
+            kwargs = {
+                "app": args.app,
+                "variants": _parse_variants(args.variants),
+                "nprocs": args.procs,
+                # The study's sweet spot is the rdma backend; an
+                # explicit --network still wins.
+                "network": args.network or "rdma",
             }
         result = api.run_experiment(args.command, ctx=ctx, **kwargs)
         print(result.text)

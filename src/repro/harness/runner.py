@@ -179,10 +179,14 @@ class ExperimentContext:
         overrides = dict(point.overrides)
         trace = overrides.pop("trace", self.trace)
         if self.options is not None:
-            # The network backend changes simulated results, so it rides
-            # in the RunConfig overrides (and hence the cache key), not
-            # just in the shipped SimOptions.
+            # The network backend and the sharing-policy triple change
+            # simulated results, so they ride in the RunConfig overrides
+            # (and hence the cache key), not just in the shipped
+            # SimOptions.
             overrides.setdefault("network", self.options.network)
+            overrides.setdefault("granularity", self.options.granularity)
+            overrides.setdefault("prefetch", self.options.prefetch)
+            overrides.setdefault("homing", self.options.homing)
         return PointSpec(
             app=point.app,
             variant_name=(

@@ -1,10 +1,21 @@
-"""The shared virtual address space, divided into pages.
+"""The shared virtual address space, divided into sharing units.
 
-The address space is a flat byte range carved into page-aligned regions.
-It owns the *backing store*: the initial contents of every page, set up
+The address space is a flat byte range carved into aligned regions.
+It owns the *backing store*: the initial contents of every unit, set up
 by the application's (untimed) initialization phase, exactly as the
 paper's applications initialize shared data before the timed parallel
 section begins.
+
+Since PR 10 the "page" the coherence stack indexes by is really the
+*sharing unit* of the run's :mod:`~repro.memory.policy` — a sub-page
+block, the VM page (the default, and then everything below is exactly
+the paper's page machinery), or a multi-page region.  ``page_size``
+deliberately keeps its name and means "unit size": every consumer of
+the space's page math (permission bitmaps, span faulting, twins,
+diffs, directory entries, fetch sizes) re-keys on units with no
+further changes.  The true VM page is ``vm_page_size`` — the value
+layout decisions (app padding, region alignment) must use, so data
+layout never varies with the sharing policy.
 """
 
 from __future__ import annotations
@@ -55,12 +66,33 @@ class SharedRegion:
 
 
 class AddressSpace:
-    """Flat shared byte space: allocation, page math, backing store."""
+    """Flat shared byte space: allocation, unit math, backing store.
 
-    def __init__(self, page_size: int = 8192):
+    ``page_size`` is the *sharing unit* size (see the module
+    docstring); ``vm_page_size`` is the hardware VM page.  They are
+    equal unless a non-default granularity passes ``unit_size``.
+    """
+
+    def __init__(self, page_size: int = 8192, unit_size: int = None):
         if page_size < 64 or page_size % 8:
             raise ValueError("page size must be a multiple of 8 and >= 64")
-        self.page_size = page_size
+        self.vm_page_size = page_size
+        if unit_size is not None:
+            if unit_size < 64 or unit_size % 8:
+                raise ValueError(
+                    "unit size must be a multiple of 8 and >= 64"
+                )
+            if page_size % unit_size and unit_size % page_size:
+                raise ValueError(
+                    f"unit size {unit_size} neither divides nor is a "
+                    f"multiple of the {page_size}-byte VM page"
+                )
+        self.page_size = unit_size if unit_size is not None else page_size
+        # Regions align to the coarser of VM page and unit: sub-page
+        # units keep the exact pre-policy layout (page alignment), and
+        # multi-page units keep ``_brk`` a whole number of units so the
+        # unit count below is exact.
+        self._align = max(self.page_size, self.vm_page_size)
         self._brk = 0
         self.regions: Dict[str, SharedRegion] = {}
         self._backing: Dict[int, np.ndarray] = {}
@@ -68,12 +100,12 @@ class AddressSpace:
     # -- allocation -------------------------------------------------------
 
     def alloc(self, name: str, nbytes: int) -> SharedRegion:
-        """Allocate a page-aligned region of at least ``nbytes``."""
+        """Allocate an aligned region of at least ``nbytes``."""
         if nbytes <= 0:
             raise ValueError("region must have positive size")
         if name in self.regions:
             raise ValueError(f"region {name!r} already allocated")
-        ps = self.page_size
+        ps = self._align
         size = ((nbytes + ps - 1) // ps) * ps
         region = SharedRegion(name, self._brk, size, self)
         self._brk += size

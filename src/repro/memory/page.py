@@ -1,4 +1,12 @@
-"""Page protection states, as a hardware MMU would hold them."""
+"""Page protection states, as a hardware MMU would hold them.
+
+"Page" here (and throughout the protocol layer) means one *coherence
+unit* of the address space — the VM page by default, but a sub-page
+block or multi-page region under a non-default granularity policy
+(docs/POLICIES.md).  Sub-page protection is the policy layer's one
+idealisation: real MMUs protect whole pages, so a fine-grained port
+would need ECC tricks or instrumentation (Shasta-style) instead.
+"""
 
 from __future__ import annotations
 

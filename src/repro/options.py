@@ -88,6 +88,15 @@ class SimOptions:
         simulated results and is copied into
         :attr:`repro.config.RunConfig.network` (the cache-keyed,
         authoritative field) by the facade and harness.
+    ``granularity`` / ``prefetch`` / ``homing``
+        The sharing-policy triple (docs/POLICIES.md): coherence unit
+        size, software prefetch policy, and home-assignment policy.
+        Like ``network`` these are simulated semantics, not wall-clock
+        toggles — the authoritative, cache-keyed copies live on
+        :class:`repro.config.RunConfig`; SimOptions only plumbs them
+        CLI flag -> context -> workers.  The default triple
+        ``(page, none, first-touch)`` reproduces the pre-policy
+        simulator bit-for-bit.
     """
 
     fastpath: bool = True
@@ -96,6 +105,9 @@ class SimOptions:
     kernels: bool = True
     shard: bool = True
     network: str = "memch"
+    granularity: str = "page"
+    prefetch: str = "none"
+    homing: str = "first-touch"
 
     @classmethod
     def from_env(cls, warn: bool = True) -> "SimOptions":
@@ -117,6 +129,9 @@ class SimOptions:
         no_kernels: bool = False,
         no_shard: bool = False,
         network: Optional[str] = None,
+        granularity: Optional[str] = None,
+        prefetch: Optional[str] = None,
+        homing: Optional[str] = None,
     ) -> "SimOptions":
         """Build options from CLI flag values, layered over the
         environment aliases (explicit flags win)."""
@@ -133,6 +148,12 @@ class SimOptions:
             options = replace(options, shard=False)
         if network is not None:
             options = replace(options, network=network)
+        if granularity is not None:
+            options = replace(options, granularity=granularity)
+        if prefetch is not None:
+            options = replace(options, prefetch=prefetch)
+        if homing is not None:
+            options = replace(options, homing=homing)
         return options
 
     def apply(self) -> "SimOptions":

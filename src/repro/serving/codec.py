@@ -60,7 +60,30 @@ OPTION_FIELDS = (
     "kernels",
     "shard",
     "network",
+    "granularity",
+    "prefetch",
+    "homing",
 )
+
+#: Sharing-policy fields (docs/POLICIES.md), validated eagerly wherever
+#: they appear — in ``options`` or in ``overrides`` — so an unknown
+#: policy value is a negative-cacheable 400, not a worker-side crash.
+_POLICY_VALIDATORS = {
+    "granularity": "validate_granularity",
+    "prefetch": "validate_prefetch",
+    "homing": "validate_homing",
+}
+
+
+def _validate_policy_fields(container: Dict[str, Any], where: str) -> None:
+    from repro.memory import policy as sharing_policy
+
+    for field, validator in _POLICY_VALIDATORS.items():
+        if field in container:
+            try:
+                getattr(sharing_policy, validator)(container[field])
+            except (TypeError, ValueError) as exc:
+                raise ServingError(f"bad {where}: {exc}") from exc
 
 
 class ServingError(Exception):
@@ -123,9 +146,9 @@ def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
         raise ServingError("request needs an 'app' (string)")
     from repro.apps import registry
 
-    if app not in registry.APP_NAMES:
+    if app not in registry.ALL_APP_NAMES:
         raise ServingError(
-            f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+            f"unknown app {app!r}; known: {list(registry.ALL_APP_NAMES)}"
         )
     variant = request.get("variant")
     if variant is not None:
@@ -145,6 +168,7 @@ def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
             f"unknown options field(s) {sorted(unknown)}; "
             f"accepted: {list(OPTION_FIELDS)}"
         )
+    _validate_policy_fields(raw_options, "options")
     try:
         options = SimOptions(**raw_options)
     except TypeError as exc:
@@ -152,6 +176,7 @@ def request_kwargs(request: Dict[str, Any]) -> Dict[str, Any]:
     overrides = request.get("overrides") or {}
     if not isinstance(overrides, dict):
         raise ServingError("'overrides' must be an object")
+    _validate_policy_fields(overrides, "overrides")
     kwargs: Dict[str, Any] = {
         "app": app,
         "variant": variant,
@@ -368,9 +393,10 @@ def expand_sweep(
         if not isinstance(apps, list):
             raise ServingError("'apps' must be a list of app names")
         for app in apps:
-            if app not in registry.APP_NAMES:
+            if app not in registry.ALL_APP_NAMES:
                 raise ServingError(
-                    f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+                    f"unknown app {app!r}; "
+                    f"known: {list(registry.ALL_APP_NAMES)}"
                 )
         variants = _sweep_variants(request.get("variants"), ALL_VARIANTS)
         counts = _sweep_counts(request.get("counts"), DEFAULT_COUNTS)
@@ -400,9 +426,10 @@ def expand_sweep(
         )
 
         app = request.get("app", "sor")
-        if app not in registry.APP_NAMES:
+        if app not in registry.ALL_APP_NAMES:
             raise ServingError(
-                f"unknown app {app!r}; known: {list(registry.APP_NAMES)}"
+                f"unknown app {app!r}; "
+                f"known: {list(registry.ALL_APP_NAMES)}"
             )
         mode = request.get("mode", "weak")
         if mode not in MODES:
